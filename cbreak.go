@@ -1,0 +1,248 @@
+// Package cbreak is a Go implementation of concurrent breakpoints, the
+// light-weight, programmatic mechanism for making concurrency Heisenbugs
+// reproducible described in "Concurrent Breakpoints" (Chang-Seo Park and
+// Koushik Sen, UC Berkeley EECS-2011-159, PPoPP 2012).
+//
+// A concurrent breakpoint (l1, l2, phi) names two program locations and a
+// predicate over the joint local state of two goroutines. When two
+// goroutines are at l1 and l2 with phi satisfied, the breakpoint is hit
+// and the goroutines proceed in the breakpoint's declared order — which
+// deterministically resolves the data race, lock contention, atomicity
+// violation, or missed notification that the breakpoint describes.
+//
+// The BTrigger mechanism makes hitting a breakpoint probable: a goroutine
+// whose local predicate holds is postponed for a bounded pause, giving
+// the partner time to arrive. Timeouts guarantee breakpoints can never
+// deadlock the program, so they can stay in code, disabled, like
+// assertions.
+//
+// Minimal use, mirroring the paper's Figures 1 and 7:
+//
+//	func foo(p1 *Point) {
+//	    cbreak.TriggerHere(cbreak.NewConflictTrigger("trigger1", p1), false, 0)
+//	    p1.x = 10 // racy write
+//	}
+//
+//	func bar(p2 *Point) {
+//	    cbreak.TriggerHere(cbreak.NewConflictTrigger("trigger1", p2), true, 0)
+//	    t = p2.x // racy read, forced to happen first
+//	}
+//
+// This package is a facade over the implementation packages:
+// internal/core (engine and triggers), internal/locks (instrumented
+// locks, condition variables, and lock-class predicates), internal/detect
+// (the Eraser-style and happens-before conflict detectors used to find
+// breakpoint sites), internal/prob (the section-3 probability model), and
+// internal/replay (schedule pinning and breakpoint regression tests).
+package cbreak
+
+import (
+	"time"
+
+	"cbreak/internal/core"
+	"cbreak/internal/detect"
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+	"cbreak/internal/prob"
+	"cbreak/internal/replay"
+)
+
+// Core breakpoint API.
+type (
+	// Trigger is one side of a concurrent breakpoint.
+	Trigger = core.Trigger
+	// Options refines a TriggerHere call (timeout, IgnoreFirst, Bound,
+	// ExtraLocal).
+	Options = core.Options
+	// Outcome classifies what happened at a TriggerHere call.
+	Outcome = core.Outcome
+	// Engine is a breakpoint engine (postponed set + statistics).
+	Engine = core.Engine
+	// BPStats carries per-breakpoint counters.
+	BPStats = core.BPStats
+	// ConflictTrigger is a same-object conflict (data race) breakpoint side.
+	ConflictTrigger = core.ConflictTrigger
+	// DeadlockTrigger is a crossed-lock deadlock breakpoint side.
+	DeadlockTrigger = core.DeadlockTrigger
+	// AtomicityTrigger is an atomicity-violation breakpoint side.
+	AtomicityTrigger = core.AtomicityTrigger
+	// NotifyTrigger is a missed-notification breakpoint side.
+	NotifyTrigger = core.NotifyTrigger
+	// PredTrigger is a generic closure-predicate breakpoint side.
+	PredTrigger = core.PredTrigger
+)
+
+// Outcome values.
+const (
+	OutcomeDisabled   = core.OutcomeDisabled
+	OutcomeLocalFalse = core.OutcomeLocalFalse
+	OutcomeTimeout    = core.OutcomeTimeout
+	OutcomeHit        = core.OutcomeHit
+)
+
+// NewEngine returns a fresh, enabled breakpoint engine.
+func NewEngine() *Engine { return core.NewEngine() }
+
+// Default returns the process-wide engine used by the package-level
+// trigger functions.
+func Default() *Engine { return core.Default() }
+
+// SetEnabled switches the default engine on or off (like enabling or
+// disabling assertions).
+func SetEnabled(v bool) { core.SetEnabled(v) }
+
+// Enabled reports whether the default engine is enabled.
+func Enabled() bool { return core.Enabled() }
+
+// Reset clears the default engine's postponed set and statistics.
+func Reset() { core.Reset() }
+
+// TriggerHere announces that the caller reached one side of breakpoint t;
+// see core.Engine.TriggerHere. A zero timeout uses the engine default.
+func TriggerHere(t Trigger, first bool, timeout time.Duration) bool {
+	return core.TriggerHere(t, first, timeout)
+}
+
+// TriggerHereOpts is TriggerHere with full options.
+func TriggerHereOpts(t Trigger, first bool, opts Options) bool {
+	return core.TriggerHereOpts(t, first, opts)
+}
+
+// TriggerHereAnd is TriggerHere with a strict ordering handshake: action
+// is the breakpoint location's next instruction and is run inside the
+// call; a hit releases the second side only after the first side's
+// action returns.
+func TriggerHereAnd(t Trigger, first bool, opts Options, action func()) bool {
+	return core.TriggerHereAnd(t, first, opts, action)
+}
+
+// TriggerHereMulti announces that the caller reached slot `slot` of the
+// n-way breakpoint t (the paper's more-than-two-threads generalization);
+// slots are released in order on a hit.
+func TriggerHereMulti(t Trigger, slot, arity int, opts Options) bool {
+	return core.Default().TriggerHereMulti(t, slot, arity, opts)
+}
+
+// TriggerHereMultiAnd is TriggerHereMulti with the slot's guarded next
+// instruction run inside the call, strictly in slot order on a hit.
+func TriggerHereMultiAnd(t Trigger, slot, arity int, opts Options, action func()) bool {
+	return core.Default().TriggerHereMultiAnd(t, slot, arity, opts, action)
+}
+
+// NewConflictTrigger returns a data-race breakpoint side over obj.
+func NewConflictTrigger(name string, obj any) *ConflictTrigger {
+	return core.NewConflictTrigger(name, obj)
+}
+
+// NewDeadlockTrigger returns a deadlock breakpoint side: the caller holds
+// held and is about to acquire want.
+func NewDeadlockTrigger(name string, held, want any) *DeadlockTrigger {
+	return core.NewDeadlockTrigger(name, held, want)
+}
+
+// NewAtomicityTrigger returns an atomicity-violation breakpoint side over
+// obj.
+func NewAtomicityTrigger(name string, obj any) *AtomicityTrigger {
+	return core.NewAtomicityTrigger(name, obj)
+}
+
+// NewNotifyTrigger returns a missed-notification breakpoint side over the
+// condition object cond.
+func NewNotifyTrigger(name string, cond any) *NotifyTrigger {
+	return core.NewNotifyTrigger(name, cond)
+}
+
+// NewPredTrigger returns a generic breakpoint side with closure
+// predicates.
+func NewPredTrigger(name string, state any, local func() bool, global func(other *PredTrigger) bool) *PredTrigger {
+	return core.NewPredTrigger(name, state, local, global)
+}
+
+// Instrumented synchronization substrate.
+type (
+	// Mutex is a named, observable lock with per-goroutine held-set
+	// tracking.
+	Mutex = locks.Mutex
+	// Cond is a wait/notify condition variable on a Mutex.
+	Cond = locks.Cond
+	// LockClass tags locks for class-held predicates.
+	LockClass = locks.Class
+)
+
+// NewMutex returns a named instrumented mutex.
+func NewMutex(name string) *Mutex { return locks.NewMutex(name) }
+
+// NewClassMutex returns a named mutex tagged with a lock class.
+func NewClassMutex(name string, c *LockClass) *Mutex { return locks.NewClassMutex(name, c) }
+
+// NewLockClass returns a lock class for class-held predicates.
+func NewLockClass(name string) *LockClass { return locks.NewClass(name) }
+
+// NewCond returns a condition variable on monitor l.
+func NewCond(name string, l *Mutex) *Cond { return locks.NewCond(name, l) }
+
+// ClassHeldPred returns an Options.ExtraLocal predicate that holds while
+// the calling goroutine holds a lock of class c (the paper's
+// isLockTypeHeld refinement).
+func ClassHeldPred(c *LockClass) func() bool { return locks.ClassHeldPred(c) }
+
+// Instrumented memory substrate.
+type (
+	// MemSpace groups instrumented cells under one tracer.
+	MemSpace = memory.Space
+	// MemCell is an instrumented shared integer variable.
+	MemCell = memory.Cell
+)
+
+// NewMemSpace returns an empty instrumented memory space.
+func NewMemSpace() *MemSpace { return memory.NewSpace() }
+
+// NewMemCell returns a named cell in space s with initial value init.
+func NewMemCell(s *MemSpace, name string, init int64) *MemCell {
+	return memory.NewCell(s, name, init)
+}
+
+// Conflict detection (Methodology I and II of the paper).
+type (
+	// Detector finds data races, lock contentions, and lock-order
+	// deadlocks at runtime.
+	Detector = detect.Detector
+	// ConflictReport is one detected potential conflict state.
+	ConflictReport = detect.Report
+)
+
+// NewDetector returns a detector with both race detectors enabled.
+func NewDetector() *Detector { return detect.New() }
+
+// Probability model (section 3 of the paper).
+var (
+	// ProbExactBase is the exact no-trigger hit probability
+	// 1 - C(N-m,m)/C(N,m).
+	ProbExactBase = prob.ExactBase
+	// ProbWithTrigger is the with-trigger lower bound.
+	ProbWithTrigger = prob.ExactTriggerLB
+	// ProbImprovement is the amplification factor T(N-m+1)/(N+MT-M).
+	ProbImprovement = prob.ImprovementFactor
+)
+
+// Schedule pinning and regression testing (section 8 of the paper).
+type (
+	// Schedule pins a total order over named program points.
+	Schedule = replay.Schedule
+	// ScheduleGraph pins a partial order (dependency DAG) over points.
+	ScheduleGraph = replay.Graph
+	// Regression asserts that a scenario hits a set of breakpoints.
+	Regression = replay.Regression
+)
+
+// NewSchedule declares a total order over named points with a per-wait
+// timeout.
+func NewSchedule(timeout time.Duration, points ...string) *Schedule {
+	return replay.NewSchedule(timeout, points...)
+}
+
+// NewScheduleGraph declares a partial order over named points; add
+// edges with Point(name, deps...).
+func NewScheduleGraph(timeout time.Duration) *ScheduleGraph {
+	return replay.NewGraph(timeout)
+}

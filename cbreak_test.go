@@ -1,0 +1,260 @@
+package cbreak
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The facade tests exercise the public API end to end: a downstream
+// user's view of the library.
+
+func TestFacadeConflictBreakpoint(t *testing.T) {
+	Reset()
+	SetEnabled(true)
+	defer Reset()
+	obj := new(int)
+	var order []string
+	var mu sync.Mutex
+	rec := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		TriggerHereAnd(NewConflictTrigger("facade-bp", obj), true,
+			Options{Timeout: time.Second}, func() { rec("write") })
+	}()
+	go func() {
+		defer wg.Done()
+		if TriggerHere(NewConflictTrigger("facade-bp", obj), false, time.Second) {
+			rec("read")
+		}
+	}()
+	wg.Wait()
+	if len(order) != 2 || order[0] != "write" || order[1] != "read" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestFacadeEnableDisable(t *testing.T) {
+	Reset()
+	defer func() { SetEnabled(true); Reset() }()
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("Enabled after SetEnabled(false)")
+	}
+	start := time.Now()
+	if TriggerHere(NewConflictTrigger("off-bp", new(int)), true, time.Second) {
+		t.Fatal("disabled facade hit")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("disabled trigger paused")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("not Enabled after SetEnabled(true)")
+	}
+}
+
+func TestFacadeEngineAndStats(t *testing.T) {
+	e := NewEngine()
+	if e == Default() {
+		t.Fatal("NewEngine returned the default engine")
+	}
+	obj := new(int)
+	out := e.TriggerOutcome(NewConflictTrigger("stats-bp", obj), true,
+		Options{Timeout: 5 * time.Millisecond})
+	if out != OutcomeTimeout {
+		t.Fatalf("outcome = %v", out)
+	}
+	st := e.Stats("stats-bp")
+	if st.Arrivals() != 1 || st.Timeouts() != 1 {
+		t.Fatalf("stats: %s", st)
+	}
+	if OutcomeHit.String() != "hit" || OutcomeDisabled.String() != "disabled" ||
+		OutcomeLocalFalse.String() != "local-false" {
+		t.Fatal("outcome constants broken")
+	}
+}
+
+func TestFacadeTriggerClasses(t *testing.T) {
+	obj := new(int)
+	la, lb := new(int), new(int)
+	if NewConflictTrigger("c", obj).Name() != "c" ||
+		NewAtomicityTrigger("a", obj).Name() != "a" ||
+		NewNotifyTrigger("n", obj).Name() != "n" {
+		t.Fatal("trigger names broken")
+	}
+	d1 := NewDeadlockTrigger("d", la, lb)
+	d2 := NewDeadlockTrigger("d", lb, la)
+	if !d1.PredicateGlobal(d2) {
+		t.Fatal("crossed deadlock triggers must match")
+	}
+	p := NewPredTrigger("p", 7, func() bool { return true },
+		func(o *PredTrigger) bool { return o.State.(int) == 7 })
+	if !p.PredicateLocal() || !p.PredicateGlobal(NewPredTrigger("p", 7, nil, nil)) {
+		t.Fatal("pred trigger broken")
+	}
+}
+
+func TestFacadeLocksAndClassPred(t *testing.T) {
+	caret := NewLockClass("BasicCaret")
+	m := NewClassMutex("caret-lock", caret)
+	pred := ClassHeldPred(caret)
+	if pred() {
+		t.Fatal("class held before lock")
+	}
+	m.Lock()
+	if !pred() {
+		t.Fatal("class not held while locked")
+	}
+	m.Unlock()
+
+	plain := NewMutex("plain")
+	plain.With(func() {})
+	cond := NewCond("cv", plain)
+	plain.Lock()
+	if cond.WaitTimeout(5 * time.Millisecond) {
+		t.Fatal("empty cond wait succeeded")
+	}
+	plain.Unlock()
+}
+
+func TestFacadeMemoryAndDetector(t *testing.T) {
+	sp := NewMemSpace()
+	d := NewDetector()
+	sp.Trace(d)
+	c := NewMemCell(sp, "x", 0)
+	gids := make(chan struct{})
+	go func() { c.Store("w1", 1); close(gids) }()
+	<-gids
+	c.Store("w2", 2)
+	reports := d.Reports()
+	if len(reports) == 0 {
+		t.Fatal("detector saw no race")
+	}
+}
+
+func TestFacadeProbabilityModel(t *testing.T) {
+	base := ProbExactBase(100000, 2)
+	with := ProbWithTrigger(100000, 10, 2, 1000)
+	gain := ProbImprovement(100000, 10, 2, 1000)
+	if with <= base || gain < 100 {
+		t.Fatalf("model: base=%v with=%v gain=%v", base, with, gain)
+	}
+}
+
+func TestFacadeScheduleAndRegression(t *testing.T) {
+	s := NewSchedule(time.Second, "a", "b")
+	if !s.Reach("a") || !s.Reach("b") || !s.Done() {
+		t.Fatal("schedule broken")
+	}
+	e := NewEngine()
+	reg := &Regression{Engine: e, Required: []string{"r-bp"}}
+	obj := new(int)
+	res := reg.Run(func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			e.TriggerHere(NewConflictTrigger("r-bp", obj), true, Options{Timeout: time.Second})
+		}()
+		go func() {
+			defer wg.Done()
+			e.TriggerHere(NewConflictTrigger("r-bp", obj), false, Options{Timeout: time.Second})
+		}()
+		wg.Wait()
+	})
+	if !res.AllHit {
+		t.Fatalf("regression: %s", res)
+	}
+}
+
+func TestFacadeMultiWay(t *testing.T) {
+	Reset()
+	defer Reset()
+	obj := new(int)
+	var seq []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for slot := 0; slot < 3; slot++ {
+		slot := slot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			TriggerHereMultiAnd(NewConflictTrigger("facade-3way", obj), slot, 3,
+				Options{Timeout: 2 * time.Second}, func() {
+					mu.Lock()
+					seq = append(seq, slot)
+					mu.Unlock()
+				})
+		}()
+	}
+	wg.Wait()
+	if len(seq) != 3 || seq[0] != 0 || seq[1] != 1 || seq[2] != 2 {
+		t.Fatalf("multi order = %v", seq)
+	}
+	if !TriggerHereMulti(NewConflictTrigger("facade-solo", obj), 0, 2,
+		Options{Timeout: time.Millisecond}) == false {
+		t.Fatal("lonely multi slot should time out")
+	}
+}
+
+func TestFacadeScheduleGraph(t *testing.T) {
+	g := NewScheduleGraph(2 * time.Second)
+	g.Point("setup").Point("use", "setup")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		g.Reach("use")
+		mu.Lock()
+		order = append(order, "use")
+		mu.Unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		g.Reach("setup")
+		mu.Lock()
+		order = append(order, "setup")
+		mu.Unlock()
+	}()
+	wg.Wait()
+	if len(order) != 2 || order[0] != "setup" || order[1] != "use" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestFacadeEngineEventsAndOnHit(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.SetOnHit(func(name string, a, p Trigger) { hits++ })
+	obj := new(int)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		e.TriggerHere(NewConflictTrigger("facade-ev", obj), true, Options{Timeout: time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		e.TriggerHere(NewConflictTrigger("facade-ev", obj), false, Options{Timeout: time.Second})
+	}()
+	wg.Wait()
+	if hits != 1 {
+		t.Fatalf("OnHit fired %d times", hits)
+	}
+	if len(e.Events()) == 0 {
+		t.Fatal("no events recorded")
+	}
+}

@@ -1,0 +1,55 @@
+// Command cbprob explores the section 3 probability model: for a grid
+// of pause times it prints the no-trigger probability, the with-trigger
+// lower bound, the Monte Carlo estimate, and the improvement factor —
+// the quantitative argument behind BTrigger.
+//
+// Usage:
+//
+//	cbprob -n 100000 -M 10 -m 2 -t 1,10,100,1000,10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cbreak/internal/prob"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "steps per thread (N)")
+	mBig := flag.Int("M", 10, "states satisfying the local predicate (M)")
+	m := flag.Int("m", 2, "states satisfying the full breakpoint (m)")
+	ts := flag.String("t", "1,10,100,1000,10000", "comma-separated pause times (T)")
+	mc := flag.Int("mc", 20000, "Monte Carlo runs (0 to skip)")
+	flag.Parse()
+
+	var pauses []int
+	for _, s := range strings.Split(*ts, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad pause %q\n", s)
+			os.Exit(2)
+		}
+		pauses = append(pauses, v)
+	}
+
+	fmt.Printf("model: N=%d M=%d m=%d\n", *n, *mBig, *m)
+	fmt.Printf("base probability: exact=%.6g approx=%.6g", prob.ExactBase(*n, *m), prob.ApproxBase(*n, *m))
+	if *mc > 0 {
+		fmt.Printf(" monte-carlo=%.6g", prob.MonteCarloBase(*n, *m, *mc, 42))
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %-12s %-12s %-12s %-10s %-10s\n", "T", "trigger-LB", "approx", "monte-carlo", "gain", "runtime-x")
+	for _, p := range prob.Sweep(*n, *mBig, *m, pauses) {
+		mcv := "-"
+		if *mc > 0 {
+			mcv = fmt.Sprintf("%.6g", prob.MonteCarloTrigger(*n, *mBig, *m, p.T, *mc, 42))
+		}
+		fmt.Printf("%-8d %-12.6g %-12.6g %-12s %-10.1f %-10.3f\n",
+			p.T, p.Trigger, prob.ApproxTrigger(*n, *mBig, *m, p.T), mcv, p.Improvement,
+			prob.RuntimeFactor(*n, *mBig, p.T))
+	}
+}

@@ -1,0 +1,139 @@
+// Command cbrepro reproduces one of the evaluation's bugs on demand:
+// pick a benchmark row, run it N times with its concurrent breakpoints,
+// and print the outcome distribution — the paper's core claim, one bug
+// at a time.
+//
+// Usage:
+//
+//	cbrepro -list
+//	cbrepro -bug stringbuffer/atomicity1 -runs 20
+//	cbrepro -bug jigsaw/deadlock1 -runs 20 -timeout 100ms
+//	cbrepro -bug "pbzip2 0.9.4/program crash" -runs 10
+//	cbrepro -bug log4j/missed-notify1 -no-breakpoint   # the Heisenbug, naturally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cbreak/internal/core"
+	"cbreak/internal/harness"
+)
+
+type entry struct {
+	name     string
+	comments string
+	run      harness.RunFunc
+	timeout  time.Duration
+}
+
+func catalog() []entry {
+	var out []entry
+	for _, row := range harness.Table1Rows() {
+		name := row.Benchmark + "/" + row.BugLabel
+		// Pause-sweep repeat rows share a name; keep the first.
+		dup := false
+		for _, e := range out {
+			if e.name == name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, entry{name: name, comments: row.Comments, run: row.Run, timeout: row.Timeout})
+	}
+	for _, row := range harness.Table2Rows() {
+		out = append(out, entry{name: row.Benchmark + "/" + row.Error, comments: row.Comments, run: row.Run})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func main() {
+	bug := flag.String("bug", "", "bug to reproduce (see -list)")
+	runs := flag.Int("runs", 10, "number of runs")
+	timeout := flag.Duration("timeout", 0, "breakpoint pause (default: the row's)")
+	noBP := flag.Bool("no-breakpoint", false, "run without breakpoints (observe the natural Heisenbug rate)")
+	list := flag.Bool("list", false, "list reproducible bugs")
+	flag.Parse()
+
+	entries := catalog()
+	if *list || *bug == "" {
+		fmt.Println("reproducible bugs:")
+		for _, e := range entries {
+			line := "  " + e.name
+			if e.comments != "" {
+				line += "  (" + e.comments + ")"
+			}
+			fmt.Println(line)
+		}
+		if *bug == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var chosen *entry
+	for i := range entries {
+		if entries[i].name == *bug {
+			chosen = &entries[i]
+			break
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "unknown bug %q — try -list\n", *bug)
+		os.Exit(2)
+	}
+
+	to := *timeout
+	if to == 0 {
+		to = chosen.timeout
+	}
+	if to == 0 {
+		to = harness.ShortPause
+	}
+
+	fmt.Printf("reproducing %s (%d runs, pause %v, breakpoints %v)\n",
+		chosen.name, *runs, to, !*noBP)
+	counts := map[string]int{}
+	hits := 0
+	var mtte time.Duration
+	buggy := 0
+	for i := 0; i < *runs; i++ {
+		e := core.NewEngine()
+		if *noBP {
+			e.SetEnabled(false)
+		}
+		res := chosen.run(e, !*noBP, to)
+		counts[res.Status.String()]++
+		if res.BPHit {
+			hits++
+		}
+		if res.Status.Buggy() {
+			buggy++
+			mtte += res.Elapsed
+		}
+		fmt.Printf("  run %2d: %s\n", i+1, res)
+	}
+	fmt.Println()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-16s %d/%d\n", k+":", counts[k], *runs)
+	}
+	fmt.Printf("%-16s %d/%d\n", "breakpoint hit:", hits, *runs)
+	if buggy > 0 {
+		fmt.Printf("%-16s %.3fs\n", "mean TTE:", (mtte / time.Duration(buggy)).Seconds())
+	}
+	if buggy < *runs && !*noBP {
+		os.Exit(1)
+	}
+}

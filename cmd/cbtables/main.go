@@ -1,0 +1,67 @@
+// Command cbtables regenerates the paper's evaluation artifacts from the
+// Go reproduction: Table 1 (Java benchmarks), Table 2 (C/C++ analogs),
+// the section 5 log4j resolve-order table, the section 6.2 pause sweep,
+// the section 6.3 precision ablation, and the section 3 / Figure 4 model
+// comparison.
+//
+// Usage:
+//
+//	cbtables -table all -runs 20
+//	cbtables -table log4j -runs 100
+//	cbtables -table 1 -runs 100   # the paper used 100 runs per row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cbreak/internal/harness"
+)
+
+func main() {
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, log4j, pause, precision, model, all")
+	runs := flag.Int("runs", 10, "runs per configuration (the paper used 100)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+	render := func(t harness.Table) string {
+		if *csv {
+			return t.CSV()
+		}
+		return t.Render()
+	}
+
+	start := time.Now()
+	switch *table {
+	case "1":
+		fmt.Print(render(harness.Table1(*runs)))
+	case "2":
+		fmt.Print(render(harness.Table2(*runs)))
+	case "log4j":
+		fmt.Print(render(harness.Log4jTable(*runs)))
+	case "pause":
+		fmt.Print(render(harness.PauseSweep(*runs)))
+	case "precision":
+		fmt.Print(render(harness.PrecisionAblation(*runs)))
+	case "model":
+		fmt.Print(render(harness.ModelTable(20000, *runs)))
+	case "all":
+		fmt.Print(render(harness.Table1(*runs)))
+		fmt.Println()
+		fmt.Print(render(harness.Table2(*runs)))
+		fmt.Println()
+		fmt.Print(render(harness.Log4jTable(*runs)))
+		fmt.Println()
+		fmt.Print(render(harness.PauseSweep(*runs)))
+		fmt.Println()
+		fmt.Print(render(harness.PrecisionAblation(*runs)))
+		fmt.Println()
+		fmt.Print(render(harness.ModelTable(20000, *runs)))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\n(%d runs per configuration, %.1fs total)\n", *runs, time.Since(start).Seconds())
+}

@@ -1,0 +1,89 @@
+// Deadlock example: the paper's Figures 2 and 9 — reproducing the
+// Jigsaw SocketClientFactory deadlock with a DeadlockTrigger pair.
+//
+// Two goroutines acquire the factory monitor and the csList monitor in
+// opposite orders. Naturally the run almost always completes; with the
+// "trigger2" breakpoint both goroutines are held at the deadlock state
+// and released into the cycle, stalling deterministically.
+//
+//	go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cbreak"
+)
+
+// factoryLike mimics SocketClientFactory's two monitors.
+type factoryLike struct {
+	this   *cbreak.Mutex
+	csList *cbreak.Mutex
+}
+
+// clientConnectionFinished locks csList (line 623) and then the factory
+// (line 574 via decrIdleCount).
+func (f *factoryLike) clientConnectionFinished(bp bool) {
+	f.csList.LockAt("SocketClientFactory.java:623")
+	defer f.csList.Unlock()
+	if bp {
+		cbreak.TriggerHere(cbreak.NewDeadlockTrigger("trigger2", f.csList, f.this),
+			true, 300*time.Millisecond)
+	}
+	f.this.LockAt("SocketClientFactory.java:574")
+	defer f.this.Unlock()
+	// decrIdleCount body.
+}
+
+// killClients locks the factory (line 867) and then csList (line 872).
+func (f *factoryLike) killClients(bp bool) {
+	f.this.LockAt("SocketClientFactory.java:867")
+	defer f.this.Unlock()
+	if bp {
+		cbreak.TriggerHere(cbreak.NewDeadlockTrigger("trigger2", f.this, f.csList),
+			false, 300*time.Millisecond)
+	}
+	f.csList.LockAt("SocketClientFactory.java:872")
+	defer f.csList.Unlock()
+}
+
+// runOnce returns true if the run stalled (deadlocked).
+func runOnce(bp bool) bool {
+	f := &factoryLike{
+		this:   cbreak.NewMutex("factory"),
+		csList: cbreak.NewMutex("csList"),
+	}
+	done := make(chan struct{}, 2)
+	go func() { f.clientConnectionFinished(bp); done <- struct{}{} }()
+	go func() { f.killClients(bp); done <- struct{}{} }()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	cbreak.SetEnabled(true)
+	const runs = 5
+	stalls := 0
+	for i := 0; i < runs; i++ {
+		cbreak.Reset()
+		if runOnce(true) {
+			stalls++
+		}
+	}
+	fmt.Printf("breakpoints ON : deadlocked %d/%d runs\n", stalls, runs)
+
+	stalls = 0
+	for i := 0; i < runs; i++ {
+		if runOnce(false) {
+			stalls++
+		}
+	}
+	fmt.Printf("breakpoints OFF: deadlocked %d/%d runs\n", stalls, runs)
+}

@@ -1,0 +1,118 @@
+// Methodology I walk-through (paper section 5): find a data race with a
+// testing tool, read its report, insert a concurrent breakpoint at the
+// two reported sites, and reproduce the bug deterministically.
+//
+// The program runs all three steps end to end on a Figure-1-style
+// account race: a withdrawal's check-then-act races with a deposit, so
+// the balance can go negative.
+//
+//	go run ./examples/methodology1
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cbreak"
+)
+
+// account has a racy balance via an instrumented cell, so the detector
+// can observe the accesses.
+type account struct {
+	balance *cbreak.MemCell
+}
+
+// withdraw is the buggy check-then-act: the balance read at site :17 and
+// the write at site :19 are not atomic.
+func (a *account) withdraw(amount int64, bp bool, engine *cbreak.Engine) bool {
+	bal := a.balance.Load("bank.go:17")
+	if bal < amount {
+		return false
+	}
+	if bp {
+		engine.TriggerHere(cbreak.NewConflictTrigger("bank-race", a.balance), false,
+			cbreak.Options{Timeout: 300 * time.Millisecond})
+	}
+	a.balance.Store("bank.go:19", bal-amount)
+	return true
+}
+
+// spend is the other side: a concurrent withdrawal through the same
+// non-atomic sequence at site :28. It reports whether it spent.
+func (a *account) spend(amount int64, bp bool, engine *cbreak.Engine) bool {
+	bal := a.balance.Load("bank.go:28")
+	if bal < amount {
+		return false
+	}
+	run := func() { a.balance.Store("bank.go:30", bal-amount) }
+	if bp {
+		engine.TriggerHereAnd(cbreak.NewConflictTrigger("bank-race", a.balance), true,
+			cbreak.Options{Timeout: 300 * time.Millisecond}, run)
+	} else {
+		run()
+	}
+	return true
+}
+
+// scenario returns true when BOTH withdrawals succeeded — spending 160
+// from a 100 balance, the double-spend the race allows. Naturally the
+// card payment lands a beat after the ATM withdrawal and is declined.
+func scenario(bp bool, engine *cbreak.Engine, space *cbreak.MemSpace) bool {
+	acct := &account{balance: cbreak.NewMemCell(space, "acct.balance", 100)}
+	var ok1, ok2 bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ok1 = acct.withdraw(80, bp, engine) }()
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond) // the card payment arrives later
+		ok2 = acct.spend(80, bp, engine)
+	}()
+	wg.Wait()
+	return ok1 && ok2
+}
+
+func main() {
+	// Step 1: run the scenario under the conflict detector.
+	space := cbreak.NewMemSpace()
+	detector := cbreak.NewDetector()
+	space.Trace(detector)
+	engine := cbreak.NewEngine()
+	engine.SetEnabled(false)
+	scenario(false, engine, space)
+	space.Trace(nil)
+
+	fmt.Println("Step 1 — detector report:")
+	for _, r := range detector.Reports() {
+		fmt.Println(r.Format())
+	}
+	fmt.Println()
+
+	// Step 2: the report names the two sites; the breakpoint pair in
+	// withdraw/spend above is inserted exactly there.
+	fmt.Println("Step 2 — breakpoint (bank.go:30, bank.go:19, t1.balance == t2.balance) inserted.")
+	fmt.Println()
+
+	// Step 3: reproduce. Both withdrawals read balance=100 before
+	// either writes: the account double-spends.
+	engine.SetEnabled(true)
+	overdrafts := 0
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		engine.Reset()
+		if scenario(true, engine, nil) {
+			overdrafts++
+		}
+	}
+	fmt.Printf("Step 3 — with the breakpoint the double-spend manifests %d/%d runs\n", overdrafts, runs)
+
+	natural := 0
+	engine.SetEnabled(false)
+	for i := 0; i < runs; i++ {
+		if scenario(false, engine, nil) {
+			natural++
+		}
+	}
+	fmt.Printf("          without it, %d/%d (schedule-dependent)\n", natural, runs)
+}

@@ -1,0 +1,74 @@
+// Quickstart: the paper's Figures 1 and 7 — making a data race
+// deterministic with a concurrent breakpoint.
+//
+// Two goroutines share a Point: foo writes p.x while bar reads it. The
+// read observing the pre-write value is a schedule-dependent Heisenbug.
+// A ConflictTrigger pair named "trigger1" pins the racy interleaving:
+// the writer runs its store first, so the reader always sees 10.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cbreak"
+)
+
+// Point is the shared object of Figure 1.
+type Point struct{ x int }
+
+// foo is the writing thread: `p1.x = 10` at "line 3".
+func foo(p1 *Point) {
+	// First action: the write happens before the read once the
+	// breakpoint is hit. TriggerHereAnd runs the guarded instruction
+	// inside the call, so the ordering is strict.
+	cbreak.TriggerHereAnd(cbreak.NewConflictTrigger("trigger1", p1), true,
+		cbreak.Options{Timeout: 500 * time.Millisecond},
+		func() { p1.x = 10 })
+}
+
+// bar is the reading thread: `t = p2.x` at "line 9".
+func bar(p2 *Point) int {
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("trigger1", p2), false, 500*time.Millisecond)
+	return p2.x
+}
+
+func runOnce() int {
+	p := &Point{}
+	var got int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); foo(p) }()
+	go func() { defer wg.Done(); got = bar(p) }()
+	wg.Wait()
+	return got
+}
+
+func main() {
+	// With breakpoints enabled, the racy write-before-read resolution
+	// is forced every time.
+	cbreak.SetEnabled(true)
+	sawTen := 0
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		cbreak.Reset()
+		if runOnce() == 10 {
+			sawTen++
+		}
+	}
+	fmt.Printf("breakpoints ON : reader saw the write %d/%d times\n", sawTen, runs)
+
+	// Disabled, the breakpoints cost one atomic load and the program
+	// behaves naturally (either interleaving may win).
+	cbreak.SetEnabled(false)
+	sawTen = 0
+	for i := 0; i < runs; i++ {
+		if runOnce() == 10 {
+			sawTen++
+		}
+	}
+	fmt.Printf("breakpoints OFF: reader saw the write %d/%d times (schedule-dependent)\n", sawTen, runs)
+}

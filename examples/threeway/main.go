@@ -1,0 +1,119 @@
+// Three-thread breakpoint example: section 2 of the paper notes that
+// concurrent breakpoints generalize to more than two threads. This
+// program has a bug that needs THREE goroutines in a specific state: a
+// writer resets a batch, a logger snapshots it, and a committer
+// publishes the snapshot — the corruption only manifests when the reset
+// lands between the snapshot and the publish while the committer holds a
+// stale count.
+//
+//	go run ./examples/threeway
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cbreak"
+)
+
+type batch struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (b *batch) add(v int) {
+	b.mu.Lock()
+	b.items = append(b.items, v)
+	b.mu.Unlock()
+}
+
+func (b *batch) snapshotLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+func (b *batch) take(n int) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > len(b.items) {
+		n = len(b.items) // defensive clamp hides the bug as a silent loss
+	}
+	out := append([]int(nil), b.items[:n]...)
+	b.items = b.items[n:]
+	return out
+}
+
+func (b *batch) reset() {
+	b.mu.Lock()
+	b.items = b.items[:0]
+	b.mu.Unlock()
+}
+
+// runOnce returns the number of published items; the full batch is 8, so
+// anything less is the three-thread corruption.
+func runOnce(bp bool) int {
+	const arity = 3
+	b := &batch{}
+	for i := 0; i < 8; i++ {
+		b.add(i)
+	}
+	var published []int
+	var wg sync.WaitGroup
+	wg.Add(3)
+	opts := cbreak.Options{Timeout: 500 * time.Millisecond}
+
+	nCh := make(chan int, 1)
+	go func() { // slot 0: the logger snapshots the count
+		defer wg.Done()
+		if bp {
+			cbreak.TriggerHereMultiAnd(cbreak.NewConflictTrigger("threeway", b), 0, arity, opts,
+				func() { nCh <- b.snapshotLen() })
+		} else {
+			nCh <- b.snapshotLen()
+		}
+	}()
+	go func() { // slot 1: the writer resets the batch after other work,
+		// so naturally the publish almost always beats it.
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		if bp {
+			cbreak.TriggerHereMultiAnd(cbreak.NewConflictTrigger("threeway", b), 1, arity, opts, b.reset)
+		} else {
+			b.reset()
+		}
+	}()
+	go func() { // slot 2: the committer publishes the snapshotted count
+		defer wg.Done()
+		if bp {
+			cbreak.TriggerHereMultiAnd(cbreak.NewConflictTrigger("threeway", b), 2, arity, opts,
+				func() { published = b.take(<-nCh) })
+		} else {
+			published = b.take(<-nCh)
+		}
+	}()
+	wg.Wait()
+	return len(published)
+}
+
+func main() {
+	cbreak.SetEnabled(true)
+	const runs = 10
+	corrupted := 0
+	for i := 0; i < runs; i++ {
+		cbreak.Reset()
+		if runOnce(true) < 8 {
+			corrupted++
+		}
+	}
+	fmt.Printf("3-way breakpoint ON : batch lost items in %d/%d runs\n", corrupted, runs)
+
+	corrupted = 0
+	for i := 0; i < runs; i++ {
+		if runOnce(false) < 8 {
+			corrupted++
+		}
+	}
+	fmt.Printf("3-way breakpoint OFF: batch lost items in %d/%d runs (schedule-dependent)\n", corrupted, runs)
+}

@@ -1,0 +1,3 @@
+module cbreak
+
+go 1.22

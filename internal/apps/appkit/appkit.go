@@ -1,0 +1,129 @@
+// Package appkit provides the shared vocabulary of the benchmark
+// applications: run outcomes matching the error classes of the paper's
+// Tables 1 and 2 (exception, stall, test failure, crash, log corruption,
+// log omission, log disorder), stall detection by deadline, and panic
+// capture.
+//
+// Every application package under internal/apps exposes a Run function
+// returning a Result, so the harness can measure reproduction
+// probability, runtime overhead, and mean-time-to-error uniformly.
+package appkit
+
+import (
+	"fmt"
+	"time"
+)
+
+// Status classifies the outcome of one application run.
+type Status int
+
+const (
+	// OK: the run completed without observing the bug.
+	OK Status = iota
+	// Exception: the run panicked (Java exception analog).
+	Exception
+	// Stall: the run exceeded its deadline (deadlock or missed
+	// notification).
+	Stall
+	// TestFail: the run completed but produced a wrong result.
+	TestFail
+	// Crash: the run hit a fatal error such as a nil dereference
+	// (C/C++ program crash analog).
+	Crash
+	// LogCorrupt: interleaved/garbled log output (Apache bug #25520
+	// analog).
+	LogCorrupt
+	// LogOmission: a log record was silently dropped (MySQL bug #791
+	// analog).
+	LogOmission
+	// LogDisorder: log records appear out of order (MySQL bug #169
+	// analog).
+	LogDisorder
+)
+
+// String returns the outcome label used in result tables.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Exception:
+		return "exception"
+	case Stall:
+		return "stall"
+	case TestFail:
+		return "test fail"
+	case Crash:
+		return "crash"
+	case LogCorrupt:
+		return "log corruption"
+	case LogOmission:
+		return "log omission"
+	case LogDisorder:
+		return "log disorder"
+	default:
+		return "unknown"
+	}
+}
+
+// Buggy reports whether the status represents an observed bug.
+func (s Status) Buggy() bool { return s != OK }
+
+// Result is the outcome of one application run.
+type Result struct {
+	// Status classifies the run.
+	Status Status
+	// Detail is a human-readable elaboration (panic message, which
+	// worker stalled, ...).
+	Detail string
+	// Elapsed is the run's wall-clock duration (stalled runs report
+	// the deadline).
+	Elapsed time.Duration
+	// BPHit reports whether the run's concurrent breakpoint(s) were
+	// hit.
+	BPHit bool
+}
+
+// String formats the result compactly.
+func (r Result) String() string {
+	if r.Detail == "" {
+		return fmt.Sprintf("%s (%.3fs, bp=%v)", r.Status, r.Elapsed.Seconds(), r.BPHit)
+	}
+	return fmt.Sprintf("%s: %s (%.3fs, bp=%v)", r.Status, r.Detail, r.Elapsed.Seconds(), r.BPHit)
+}
+
+// RunWithDeadline executes f on a fresh goroutine and waits up to
+// deadline for it to finish. If f panics, the panic is captured as an
+// Exception result; if the deadline expires first, a Stall result is
+// returned and f's goroutine is abandoned (exactly how the paper detects
+// stalls: "stalls due to missed notifications are detected by large
+// timeouts").
+func RunWithDeadline(deadline time.Duration, f func() Result) Result {
+	start := time.Now()
+	ch := make(chan Result, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- Result{Status: Exception, Detail: fmt.Sprint(p)}
+			}
+		}()
+		ch <- f()
+	}()
+	select {
+	case r := <-ch:
+		r.Elapsed = time.Since(start)
+		return r
+	case <-time.After(deadline):
+		return Result{Status: Stall, Detail: "deadline exceeded", Elapsed: deadline}
+	}
+}
+
+// Capture runs f and converts a panic into an Exception result; a normal
+// return yields the given ok result.
+func Capture(f func() Result) (res Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = Result{Status: Exception, Detail: fmt.Sprint(p)}
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,83 @@
+package appkit
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		OK: "ok", Exception: "exception", Stall: "stall", TestFail: "test fail",
+		Crash: "crash", LogCorrupt: "log corruption", LogOmission: "log omission",
+		LogDisorder: "log disorder", Status(99): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if OK.Buggy() {
+		t.Error("OK must not be buggy")
+	}
+	for _, s := range []Status{Exception, Stall, TestFail, Crash, LogCorrupt, LogOmission, LogDisorder} {
+		if !s.Buggy() {
+			t.Errorf("%v should be buggy", s)
+		}
+	}
+}
+
+func TestRunWithDeadlineCompletes(t *testing.T) {
+	r := RunWithDeadline(time.Second, func() Result {
+		return Result{Status: OK}
+	})
+	if r.Status != OK || r.Elapsed <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestRunWithDeadlineStall(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	r := RunWithDeadline(30*time.Millisecond, func() Result {
+		<-block
+		return Result{Status: OK}
+	})
+	if r.Status != Stall {
+		t.Fatalf("status = %v, want stall", r.Status)
+	}
+	if r.Elapsed < 25*time.Millisecond {
+		t.Fatalf("stall elapsed = %v", r.Elapsed)
+	}
+}
+
+func TestRunWithDeadlinePanic(t *testing.T) {
+	r := RunWithDeadline(time.Second, func() Result {
+		panic("index out of range")
+	})
+	if r.Status != Exception || !strings.Contains(r.Detail, "index out of range") {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestCapture(t *testing.T) {
+	r := Capture(func() Result { return Result{Status: TestFail, Detail: "sum"} })
+	if r.Status != TestFail {
+		t.Fatalf("result = %+v", r)
+	}
+	r = Capture(func() Result { panic("boom") })
+	if r.Status != Exception || r.Detail != "boom" {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Status: OK, Elapsed: time.Second}
+	if !strings.Contains(r.String(), "ok") {
+		t.Fatalf("String = %q", r.String())
+	}
+	r = Result{Status: Stall, Detail: "x", Elapsed: time.Second, BPHit: true}
+	if !strings.Contains(r.String(), "stall: x") || !strings.Contains(r.String(), "bp=true") {
+		t.Fatalf("String = %q", r.String())
+	}
+}

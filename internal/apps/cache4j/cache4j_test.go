@@ -1,0 +1,170 @@
+package cache4j
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+)
+
+func quietCfg() *Config {
+	e := core.NewEngine()
+	e.SetEnabled(false)
+	return &Config{Engine: e}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(100, quietCfg())
+	c.Put("a", 1)
+	c.Put("b", 2)
+	obj, ok := c.Get("a")
+	if !ok || obj.Value != 1 {
+		t.Fatalf("Get(a) = %+v %v", obj, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) returned ok")
+	}
+	if c.TrueSize() != 2 || c.Size() != 2 {
+		t.Fatalf("sizes: true=%d counter=%d", c.TrueSize(), c.Size())
+	}
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("removed key still present")
+	}
+	if c.Size() != 1 {
+		t.Fatalf("counter after remove = %d", c.Size())
+	}
+}
+
+func TestHitCounting(t *testing.T) {
+	c := NewCache(100, quietCfg())
+	c.Put("k", 1)
+	for i := 0; i < 5; i++ {
+		c.Get("k")
+	}
+	if c.Hits() != 5 {
+		t.Fatalf("Hits = %d, want 5", c.Hits())
+	}
+	c.ResetStats()
+	if c.Hits() != 0 {
+		t.Fatalf("Hits after reset = %d", c.Hits())
+	}
+}
+
+func TestEvictionKeepsCapacity(t *testing.T) {
+	c := NewCache(4, quietCfg())
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), int64(i))
+	}
+	if got := c.TrueSize(); got > 5 {
+		t.Fatalf("TrueSize = %d, want <= capacity+1", got)
+	}
+}
+
+func TestEvictionPrefersOldest(t *testing.T) {
+	c := NewCache(2, quietCfg())
+	c.Put("old", 1)
+	c.Put("mid", 2)
+	c.Get("old") // refresh old
+	c.Put("new", 3)
+	if _, ok := c.Get("mid"); ok {
+		t.Fatal("LRU evicted the wrong entry (mid should be gone)")
+	}
+	if _, ok := c.Get("old"); !ok {
+		t.Fatal("refreshed entry was evicted")
+	}
+}
+
+func reproduce(t *testing.T, bug Bug, runs int) int {
+	t.Helper()
+	got := 0
+	for i := 0; i < runs; i++ {
+		e := core.NewEngine()
+		r := Run(Config{Engine: e, Bug: bug, Breakpoint: true, Timeout: 200 * time.Millisecond})
+		if r.Status == appkit.TestFail {
+			if !r.BPHit {
+				t.Fatalf("bug %v manifested without breakpoint hit: %s", bug, r)
+			}
+			got++
+		} else if r.Status != appkit.OK {
+			t.Fatalf("bug %v run %d: unexpected status %s", bug, i, r)
+		}
+	}
+	return got
+}
+
+func TestRace1Reproduces(t *testing.T) {
+	if got := reproduce(t, Race1, 5); got != 5 {
+		t.Fatalf("race1 reproduced %d/5", got)
+	}
+}
+
+func TestRace2Reproduces(t *testing.T) {
+	if got := reproduce(t, Race2, 5); got != 5 {
+		t.Fatalf("race2 reproduced %d/5", got)
+	}
+}
+
+func TestRace3Reproduces(t *testing.T) {
+	if got := reproduce(t, Race3, 5); got != 5 {
+		t.Fatalf("race3 reproduced %d/5", got)
+	}
+}
+
+func TestAtomicity1Reproduces(t *testing.T) {
+	got := 0
+	for i := 0; i < 5; i++ {
+		e := core.NewEngine()
+		r := Run(Config{Engine: e, Bug: Atomicity1, Breakpoint: true,
+			Timeout: 200 * time.Millisecond, IgnoreFirst: 100})
+		if r.Status == appkit.TestFail && r.BPHit {
+			got++
+		}
+	}
+	if got != 5 {
+		t.Fatalf("atomicity1 reproduced %d/5", got)
+	}
+}
+
+func TestWithoutBreakpointsMostlyOK(t *testing.T) {
+	for _, bug := range []Bug{Race1, Race2, Race3, Atomicity1} {
+		bugs := 0
+		for i := 0; i < 5; i++ {
+			e := core.NewEngine()
+			e.SetEnabled(false)
+			if Run(Config{Engine: e, Bug: bug}).Status.Buggy() {
+				bugs++
+			}
+		}
+		if bugs > 2 {
+			t.Errorf("bug %v manifested %d/5 without breakpoints", bug, bugs)
+		}
+	}
+}
+
+func TestIgnoreFirstReducesRuntime(t *testing.T) {
+	// Section 6.3: without ignoreFirst, each warm-up Put pauses at the
+	// constructor breakpoint; with ignoreFirst=warmup they are skipped.
+	timeout := 20 * time.Millisecond
+	e1 := core.NewEngine()
+	start := time.Now()
+	Run(Config{Engine: e1, Bug: Atomicity1, Breakpoint: true, Timeout: timeout,
+		WarmupObjects: 30, Ops: 40})
+	slow := time.Since(start)
+
+	e2 := core.NewEngine()
+	start = time.Now()
+	Run(Config{Engine: e2, Bug: Atomicity1, Breakpoint: true, Timeout: timeout,
+		WarmupObjects: 30, Ops: 40, IgnoreFirst: 30})
+	fast := time.Since(start)
+
+	if fast >= slow {
+		t.Fatalf("ignoreFirst did not reduce runtime: with=%v without=%v", fast, slow)
+	}
+	// The saving should be roughly warmup * timeout.
+	if slow-fast < 10*timeout {
+		t.Fatalf("saving too small: with=%v without=%v", fast, slow)
+	}
+}

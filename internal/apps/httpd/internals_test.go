@@ -1,0 +1,62 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccessLogLinesParsing(t *testing.T) {
+	cfg := quietCfg()
+	l := NewAccessLog(1024, cfg)
+	l.Append("id=1 path=/a status=200 OK\n", 0)
+	l.Append("id=2 path=/b status=200 OK\n", 1)
+	intact, raw := l.Lines()
+	if intact != 2 {
+		t.Fatalf("intact = %d\n%s", intact, raw)
+	}
+	// A garbled line (no trailing OK) is not counted.
+	l.Append("id=3 path=/c status=200 OK", 0) // missing newline: merges with next
+	l.Append("junk\n", 1)
+	intact, _ = l.Lines()
+	if intact != 2 {
+		t.Fatalf("garbled lines counted: %d", intact)
+	}
+}
+
+func TestAccessLogRespectsCapacity(t *testing.T) {
+	cfg := quietCfg()
+	l := NewAccessLog(16, cfg)
+	l.Append("id=1 path=/very-long-line status=200 OK\n", 0)
+	l.Append("id=2 path=/more status=200 OK\n", 0)
+	// Writes past capacity are dropped, not panicking.
+	intact, raw := l.Lines()
+	if len(raw) > 16 {
+		t.Fatalf("log overflowed its buffer: %d bytes", len(raw))
+	}
+	_ = intact
+}
+
+func TestConnBufDefaults(t *testing.T) {
+	cb := NewConnBuf(4096)
+	if got := cb.capacity.Load("t"); got != 4096 {
+		t.Fatalf("capacity = %d", got)
+	}
+	if got := len(*cb.backing.Load("t")); got != 4096 {
+		t.Fatalf("backing = %d", got)
+	}
+}
+
+func TestSmallResponsesClippedNotCrashing(t *testing.T) {
+	cfg := quietCfg()
+	srv := NewServer(cfg)
+	// Shrink properly (capacity updated after swap, but sequentially
+	// both take effect), then serve a big request: clipped, no crash.
+	srv.Reload(256)
+	if err := srv.Handle(Request{ID: 9, Path: "/big", Big: true}, 0); err != nil {
+		t.Fatalf("sequential reload + big request crashed: %v", err)
+	}
+	intact, raw := srv.log.Lines()
+	if intact != 1 || !strings.Contains(raw, "id=9") {
+		t.Fatalf("log: %d intact, %q", intact, raw)
+	}
+}

@@ -1,0 +1,41 @@
+package jigsaw
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRequest hardens the HTTP request parser: arbitrary bytes must
+// parse or error, never panic, and accepted requests must be internally
+// consistent.
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+		"GET / HTTP/1.0\r\n\r\n",
+		"POST /p HTTP/1.1\r\nConnection: close\r\n\r\n",
+		"HEAD /h HTTP/1.1\r\nA:B\r\n\r\n",
+		"",
+		"\r\n",
+		"GET /\r\n\r\n",
+		"GET / HTTP/1.1\nno-colon\n\n",
+		"BREW /pot HTCPCP/1.0\r\n\r\n",
+		strings.Repeat("A", 1000) + "\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		req, err := ParseRequest(bufio.NewReader(strings.NewReader(raw)))
+		if err != nil {
+			return
+		}
+		if req.Method == "" || req.Path == "" || req.Proto == "" {
+			t.Fatalf("accepted request with empty fields: %+v from %q", req, raw)
+		}
+		if req.Headers == nil {
+			t.Fatal("accepted request with nil headers")
+		}
+		_ = req.KeepAlive() // must not panic for any accepted request
+	})
+}

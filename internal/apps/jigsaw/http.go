@@ -1,0 +1,222 @@
+package jigsaw
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file gives the Jigsaw model a real protocol surface: an
+// HTTP/1.0-and-1.1 request parser, response writer, and a per-connection
+// serve loop over net.Pipe connections, so the harness drives the
+// factory the way the paper's harness drove Jigsaw — "multiple clients
+// making simultaneous web page requests and sending administrative
+// commands".
+
+// HTTPRequest is a parsed request line plus headers.
+type HTTPRequest struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string
+}
+
+// KeepAlive reports whether the connection should stay open after this
+// request (HTTP/1.1 default, or an explicit Connection header).
+func (r HTTPRequest) KeepAlive() bool {
+	switch strings.ToLower(r.Headers["connection"]) {
+	case "keep-alive":
+		return true
+	case "close":
+		return false
+	}
+	return r.Proto == "HTTP/1.1"
+}
+
+// ParseRequest reads one request head from r.
+func ParseRequest(br *bufio.Reader) (HTTPRequest, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return HTTPRequest{}, err
+	}
+	parts := strings.Fields(strings.TrimSpace(line))
+	if len(parts) != 3 {
+		return HTTPRequest{}, fmt.Errorf("malformed request line %q", strings.TrimSpace(line))
+	}
+	req := HTTPRequest{Method: parts[0], Path: parts[1], Proto: parts[2],
+		Headers: make(map[string]string)}
+	if req.Method != "GET" && req.Method != "HEAD" && req.Method != "POST" {
+		return HTTPRequest{}, fmt.Errorf("unsupported method %q", req.Method)
+	}
+	if !strings.HasPrefix(req.Proto, "HTTP/1.") {
+		return HTTPRequest{}, fmt.Errorf("unsupported protocol %q", req.Proto)
+	}
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			return HTTPRequest{}, err
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return req, nil
+		}
+		k, v, ok := strings.Cut(h, ":")
+		if !ok {
+			return HTTPRequest{}, fmt.Errorf("malformed header %q", h)
+		}
+		req.Headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+}
+
+// WriteResponse writes a status line, minimal headers, and the body.
+func WriteResponse(w io.Writer, status int, body string, keepAlive bool) error {
+	conn := "close"
+	if keepAlive {
+		conn = "keep-alive"
+	}
+	_, err := fmt.Fprintf(w, "HTTP/1.1 %d %s\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n%s",
+		status, statusText(status), len(body), conn, body)
+	return err
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 404:
+		return "Not Found"
+	case 400:
+		return "Bad Request"
+	default:
+		return "Status"
+	}
+}
+
+// ServeConn runs the per-connection loop: parse, dispatch to the
+// factory, respond, repeat while keep-alive. worker tags the handling
+// goroutine for the seeded races.
+func (f *Factory) ServeConn(conn net.Conn, worker int) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := ParseRequest(br)
+		if err != nil {
+			if err != io.EOF {
+				WriteResponse(conn, 400, err.Error()+"\n", false)
+			}
+			return
+		}
+		if req.Path == "/admin/killClients" {
+			n := f.KillClients()
+			WriteResponse(conn, 200, "killed "+strconv.Itoa(n)+"\n", req.KeepAlive())
+		} else {
+			resp := f.Serve(Request{Path: req.Path, Client: worker}, worker)
+			f.LogAccess(Request{Path: req.Path, Client: worker})
+			WriteResponse(conn, resp.Status, resp.Body, req.KeepAlive())
+		}
+		if !req.KeepAlive() {
+			return
+		}
+	}
+}
+
+// HTTPClient issues requests over a connection and parses responses.
+type HTTPClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewHTTPClient wraps a connection.
+func NewHTTPClient(conn net.Conn) *HTTPClient {
+	return &HTTPClient{conn: conn, br: bufio.NewReader(conn)}
+}
+
+// Get issues a GET and returns the status code and body.
+func (c *HTTPClient) Get(path string, keepAlive bool) (int, string, error) {
+	connHdr := "close"
+	if keepAlive {
+		connHdr = "keep-alive"
+	}
+	if _, err := fmt.Fprintf(c.conn, "GET %s HTTP/1.1\r\nHost: jigsaw\r\nConnection: %s\r\n\r\n",
+		path, connHdr); err != nil {
+		return 0, "", err
+	}
+	status := 0
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return 0, "", err
+	}
+	parts := strings.Fields(line)
+	if len(parts) < 2 {
+		return 0, "", fmt.Errorf("malformed status line %q", line)
+	}
+	status, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, "", err
+	}
+	length := -1
+	for {
+		h, err := c.br.ReadString('\n')
+		if err != nil {
+			return 0, "", err
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(h, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Content-Length") {
+			length, _ = strconv.Atoi(strings.TrimSpace(v))
+		}
+	}
+	if length < 0 {
+		return status, "", fmt.Errorf("missing Content-Length")
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, "", err
+	}
+	return status, string(body), nil
+}
+
+// Close closes the underlying connection.
+func (c *HTTPClient) Close() error { return c.conn.Close() }
+
+// ServeHTTPLoad drives the factory with `clients` concurrent HTTP
+// clients issuing `requests` keep-alive GETs each over in-memory
+// connections, returning the number of 200 responses observed.
+func (f *Factory) ServeHTTPLoad(clients, requests int) (int, error) {
+	var ok int
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for cid := 0; cid < clients; cid++ {
+		clientEnd, serverEnd := net.Pipe()
+		go f.ServeConn(serverEnd, cid)
+		wg.Add(1)
+		go func(cid int, conn net.Conn) {
+			defer wg.Done()
+			c := NewHTTPClient(conn)
+			defer c.Close()
+			for i := 0; i < requests; i++ {
+				status, body, err := c.Get(fmt.Sprintf("/page/%d-%d", cid, i), i < requests-1)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil && status == 200 && strings.Contains(body, "/page/") {
+					ok++
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(cid, clientEnd)
+	}
+	wg.Wait()
+	return ok, firstErr
+}

@@ -1,0 +1,124 @@
+package jigsaw
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, raw string) (HTTPRequest, error) {
+	t.Helper()
+	return ParseRequest(bufio.NewReader(strings.NewReader(raw)))
+}
+
+func TestParseRequestBasics(t *testing.T) {
+	req, err := parse(t, "GET /index.html HTTP/1.1\r\nHost: jigsaw\r\nX-Test: 1\r\n\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Path != "/index.html" || req.Proto != "HTTP/1.1" {
+		t.Fatalf("req = %+v", req)
+	}
+	if req.Headers["host"] != "jigsaw" || req.Headers["x-test"] != "1" {
+		t.Fatalf("headers = %v", req.Headers)
+	}
+	if !req.KeepAlive() {
+		t.Fatal("HTTP/1.1 should default to keep-alive")
+	}
+}
+
+func TestParseRequestKeepAliveRules(t *testing.T) {
+	r10, _ := parse(t, "GET / HTTP/1.0\r\n\r\n")
+	if r10.KeepAlive() {
+		t.Fatal("HTTP/1.0 default should close")
+	}
+	r10ka, _ := parse(t, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+	if !r10ka.KeepAlive() {
+		t.Fatal("explicit keep-alive ignored")
+	}
+	r11c, _ := parse(t, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+	if r11c.KeepAlive() {
+		t.Fatal("explicit close ignored")
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	for _, raw := range []string{
+		"GARBAGE\r\n\r\n",
+		"BREW /pot HTTP/1.1\r\n\r\n",
+		"GET / SPDY/3\r\n\r\n",
+		"GET / HTTP/1.1\r\nBadHeader\r\n\r\n",
+	} {
+		if _, err := parse(t, raw); err == nil {
+			t.Errorf("request %q parsed", raw)
+		}
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	f := NewFactory(2, quietCfg())
+	clientEnd, serverEnd := net.Pipe()
+	go f.ServeConn(serverEnd, 0)
+	c := NewHTTPClient(clientEnd)
+	defer c.Close()
+
+	status, body, err := c.Get("/hello", true)
+	if err != nil || status != 200 || !strings.Contains(body, "/hello") {
+		t.Fatalf("GET: %d %q %v", status, body, err)
+	}
+	// Keep-alive: a second request on the same connection.
+	status, _, err = c.Get("/again", false)
+	if err != nil || status != 200 {
+		t.Fatalf("second GET: %d %v", status, err)
+	}
+	if f.requestsServed.Load("t") != 2 {
+		t.Fatalf("served = %d", f.requestsServed.Load("t"))
+	}
+	if len(f.accessLog) != 2 {
+		t.Fatalf("access log = %v", f.accessLog)
+	}
+}
+
+func TestHTTPAdminKillClients(t *testing.T) {
+	f := NewFactory(3, quietCfg())
+	clientEnd, serverEnd := net.Pipe()
+	go f.ServeConn(serverEnd, 0)
+	c := NewHTTPClient(clientEnd)
+	defer c.Close()
+	status, body, err := c.Get("/admin/killClients", false)
+	if err != nil || status != 200 || !strings.Contains(body, "killed 3") {
+		t.Fatalf("admin: %d %q %v", status, body, err)
+	}
+}
+
+func TestHTTPMalformedGets400(t *testing.T) {
+	f := NewFactory(1, quietCfg())
+	clientEnd, serverEnd := net.Pipe()
+	go f.ServeConn(serverEnd, 0)
+	defer clientEnd.Close()
+	clientEnd.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := clientEnd.Write([]byte("NONSENSE\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, _ := clientEnd.Read(buf)
+	if !strings.Contains(string(buf[:n]), "400") {
+		t.Fatalf("response = %q", buf[:n])
+	}
+}
+
+func TestServeHTTPLoad(t *testing.T) {
+	f := NewFactory(4, quietCfg())
+	ok, err := f.ServeHTTPLoad(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 15 {
+		t.Fatalf("ok responses = %d, want 15", ok)
+	}
+	if got := f.requestsServed.Load("t"); got != 15 {
+		t.Fatalf("served = %d", got)
+	}
+}

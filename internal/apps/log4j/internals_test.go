@@ -1,0 +1,110 @@
+package log4j
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cbreak/internal/core"
+)
+
+func quietAppender(buf int) *AsyncAppender {
+	e := core.NewEngine()
+	e.SetEnabled(false)
+	return NewAsyncAppender(buf, &Config{Engine: e})
+}
+
+func TestAppendAndDispatcherDrain(t *testing.T) {
+	app := quietAppender(8)
+	done := make(chan struct{})
+	go app.Dispatcher(done)
+	for i := 0; i < 20; i++ {
+		app.Append(Event{Seq: i, Msg: fmt.Sprintf("m%d", i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for app.Dispatched() != 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatched %d/20", app.Dispatched())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	app.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never exited after close")
+	}
+	if len(app.target.lines) != 20 {
+		t.Fatalf("file appender lines = %d", len(app.target.lines))
+	}
+}
+
+func TestAppendBlocksWhenBufferFull(t *testing.T) {
+	app := quietAppender(2)
+	// No dispatcher: the third append must block on the full buffer.
+	app.Append(Event{Seq: 0, Msg: "a"})
+	app.Append(Event{Seq: 1, Msg: "b"})
+	third := make(chan struct{})
+	go func() {
+		app.Append(Event{Seq: 2, Msg: "c"})
+		close(third)
+	}()
+	select {
+	case <-third:
+		t.Fatal("append did not block on a full buffer")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Start the dispatcher; the blocked append must complete.
+	done := make(chan struct{})
+	go app.Dispatcher(done)
+	select {
+	case <-third:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked append never released")
+	}
+	app.Close()
+	<-done
+}
+
+func TestSetBufferSizeAppliedByDispatcher(t *testing.T) {
+	app := quietAppender(4)
+	done := make(chan struct{})
+	go app.Dispatcher(done)
+	app.Append(Event{Seq: 0, Msg: "warm"})
+	app.SetBufferSize(16)
+	app.m.Lock()
+	got := app.bufferSize
+	app.m.Unlock()
+	if got != 16 {
+		t.Fatalf("bufferSize = %d after ack", got)
+	}
+	app.Close()
+	<-done
+}
+
+func TestDeadTeardownUnblocksEverything(t *testing.T) {
+	app := quietAppender(1)
+	app.Append(Event{Seq: 0, Msg: "fill"})
+	blocked := make(chan struct{})
+	go func() {
+		app.Append(Event{Seq: 1, Msg: "stuck"}) // no dispatcher: blocks
+		close(blocked)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	app.dead.Store(true)
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dead switch did not unblock the producer")
+	}
+}
+
+func TestPairStringAndSites(t *testing.T) {
+	p := Pair{First: S100, Second: S309}
+	if p.String() != "100 -> 309" {
+		t.Fatalf("Pair.String = %q", p.String())
+	}
+	if S236.String() != "236" {
+		t.Fatalf("Site.String = %q", S236.String())
+	}
+}

@@ -1,0 +1,151 @@
+package log4j
+
+import (
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+)
+
+func run(t *testing.T, cfg Config) appkit.Result {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = core.NewEngine()
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 100 * time.Millisecond
+	}
+	if cfg.StallAfter == 0 {
+		cfg.StallAfter = time.Second
+	}
+	if cfg.EventsPerAppender == 0 {
+		cfg.EventsPerAppender = 20
+	}
+	return Run(cfg)
+}
+
+func TestCleanRunDeliversEverything(t *testing.T) {
+	e := core.NewEngine()
+	e.SetEnabled(false)
+	ok := 0
+	const runs = 6
+	for i := 0; i < runs; i++ {
+		r := run(t, Config{Engine: e, Pair: Pair{S236, S309}})
+		if r.Status == appkit.OK {
+			ok++
+		}
+	}
+	// The natural lost-wakeup window exists (paper: ~5% stalls) and
+	// widens under heavy test-machine load, which stretches the
+	// dispatcher's check-to-wait window. The property under test is
+	// that the stall is a Heisenbug, not deterministic: a meaningful
+	// fraction of unforced runs must come out clean.
+	if ok < 2 {
+		t.Fatalf("only %d/%d clean runs without breakpoints", ok, runs)
+	}
+}
+
+func Test236Before309Stalls(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		r := run(t, Config{Breakpoint: true, Pair: Pair{S236, S309}})
+		if r.Status != appkit.Stall {
+			t.Fatalf("run %d: 236->309 did not stall: %s", i, r)
+		}
+		if !r.BPHit {
+			t.Fatalf("run %d: stall without breakpoint hit", i)
+		}
+	}
+}
+
+func Test309Before236DoesNotStall(t *testing.T) {
+	stalls := 0
+	for i := 0; i < 3; i++ {
+		r := run(t, Config{Breakpoint: true, Pair: Pair{S309, S236}})
+		if r.Status == appkit.Stall {
+			stalls++
+		} else if !r.BPHit {
+			t.Fatalf("run %d: no breakpoint hit: %s", i, r)
+		}
+	}
+	if stalls > 1 {
+		t.Fatalf("309->236 stalled %d/3 times", stalls)
+	}
+}
+
+func TestAppendPairsDoNotStall(t *testing.T) {
+	for _, pair := range []Pair{{S100, S309}, {S309, S100}, {S100, S236}, {S236, S100}} {
+		stalls, hits := 0, 0
+		for i := 0; i < 3; i++ {
+			r := run(t, Config{Breakpoint: true, Pair: pair})
+			if r.Status == appkit.Stall {
+				stalls++
+			}
+			if r.BPHit {
+				hits++
+			}
+		}
+		if stalls > 1 {
+			t.Errorf("pair %v stalled %d/3", pair, stalls)
+		}
+		if hits < 2 {
+			t.Errorf("pair %v hit only %d/3", pair, hits)
+		}
+	}
+}
+
+func TestClosePairStallsViaOtherConflict(t *testing.T) {
+	// Paper section 5 step 4(b): with the breakpoint on (277, 309) the
+	// system stalls in almost every run, but the breakpoint itself is
+	// rarely hit — the stall comes from the un-instrumented resize
+	// conflict, aggravated by the dispatcher's pauses at site 309.
+	stalls, hits := 0, 0
+	for i := 0; i < 5; i++ {
+		r := run(t, Config{Breakpoint: true, Pair: Pair{S277, S309}})
+		if r.Status == appkit.Stall {
+			stalls++
+		}
+		if r.BPHit {
+			hits++
+		}
+	}
+	if stalls < 4 {
+		t.Fatalf("(277,309) stalled only %d/5", stalls)
+	}
+	if hits > stalls-2 {
+		t.Logf("note: hits=%d stalls=%d (paper saw hits ~1-3%%)", hits, stalls)
+	}
+}
+
+func TestDeadlockModeReproduces(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		r := run(t, Config{Breakpoint: true, Mode: ModeDeadlock})
+		if r.Status != appkit.Stall || !r.BPHit {
+			t.Fatalf("run %d: %s", i, r)
+		}
+	}
+}
+
+func TestDeadlockModeCleanWithoutBreakpoint(t *testing.T) {
+	e := core.NewEngine()
+	e.SetEnabled(false)
+	bugs := 0
+	for i := 0; i < 5; i++ {
+		if run(t, Config{Engine: e, Mode: ModeDeadlock}).Status.Buggy() {
+			bugs++
+		}
+	}
+	if bugs > 2 {
+		t.Fatalf("deadlock manifested %d/5 without breakpoint", bugs)
+	}
+}
+
+func TestSection5PairsList(t *testing.T) {
+	pairs := Section5Pairs()
+	if len(pairs) != 8 {
+		t.Fatalf("pairs = %d, want 8", len(pairs))
+	}
+	if pairs[2].String() != "236 -> 309" {
+		t.Fatalf("pair string = %q", pairs[2].String())
+	}
+}

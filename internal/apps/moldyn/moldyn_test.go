@@ -1,0 +1,175 @@
+package moldyn
+
+import (
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+)
+
+func TestSystemSetup(t *testing.T) {
+	s := NewSystem(64)
+	if s.N != 64 {
+		t.Fatalf("N = %d, want 64 (perfect cube)", s.N)
+	}
+	s2 := NewSystem(30)
+	if s2.N != 27 {
+		t.Fatalf("N = %d, want 27 (rounded to cube)", s2.N)
+	}
+	// Particles inside the box.
+	for i := 0; i < s.N; i++ {
+		if s.X[i] < 0 || s.X[i] > s.Box || s.Y[i] < 0 || s.Y[i] > s.Box {
+			t.Fatalf("particle %d outside box", i)
+		}
+	}
+}
+
+func TestPairForceSymmetry(t *testing.T) {
+	s := NewSystem(8)
+	fx1, fy1, fz1, e1, v1 := s.pairForce(0, 1)
+	fx2, fy2, fz2, e2, v2 := s.pairForce(1, 0)
+	if fx1 != -fx2 || fy1 != -fy2 || fz1 != -fz2 {
+		t.Fatal("Newton's third law violated")
+	}
+	if e1 != e2 || v1 != v2 {
+		t.Fatal("pair energy/virial not symmetric")
+	}
+}
+
+func TestPairForceCutoff(t *testing.T) {
+	s := NewSystem(8)
+	s.Box = 1000
+	s.X[1] = s.X[0] + 100 // way past cutoff
+	s.Y[1], s.Z[1] = s.Y[0], s.Z[0]
+	fx, fy, fz, e, v := s.pairForce(0, 1)
+	if fx != 0 || fy != 0 || fz != 0 || e != 0 || v != 0 {
+		t.Fatal("cutoff not applied")
+	}
+}
+
+func TestSequentialDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		s := NewSystem(27)
+		var e, v int64
+		for st := 0; st < 3; st++ {
+			s.forceRange(0, s.N, func(d int64) { e += d }, func(d int64) { v += d })
+			s.integrate()
+		}
+		return e, v
+	}
+	e1, v1 := run()
+	e2, v2 := run()
+	if e1 != e2 || v1 != v2 {
+		t.Fatalf("sequential run not deterministic: (%d,%d) vs (%d,%d)", e1, v1, e2, v2)
+	}
+	if e1 == 0 {
+		t.Fatal("energy identically zero — kernel not computing")
+	}
+}
+
+func TestRace1Reproduces(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		e := core.NewEngine()
+		r := Run(Config{Engine: e, Bug: Race1, Breakpoint: true, Timeout: 200 * time.Millisecond})
+		if r.Status != appkit.TestFail || !r.BPHit {
+			t.Fatalf("run %d: %s", i, r)
+		}
+	}
+}
+
+func TestRace2Reproduces(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		e := core.NewEngine()
+		r := Run(Config{Engine: e, Bug: Race2, Breakpoint: true, Timeout: 200 * time.Millisecond})
+		if r.Status != appkit.TestFail || !r.BPHit {
+			t.Fatalf("run %d: %s", i, r)
+		}
+	}
+}
+
+func TestBoundLimitsHits(t *testing.T) {
+	e := core.NewEngine()
+	Run(Config{Engine: e, Bug: Race1, Breakpoint: true, Timeout: 50 * time.Millisecond, Bound: 4})
+	if hits := e.Stats(BPRace1).Hits(); hits > 4 {
+		t.Fatalf("bound=4 exceeded: %d hits", hits)
+	}
+}
+
+func TestWithoutBreakpointUsuallyOK(t *testing.T) {
+	// The racy accumulators can lose updates naturally, but with two
+	// threads and short windows it should be rare.
+	bugs := 0
+	for i := 0; i < 5; i++ {
+		e := core.NewEngine()
+		e.SetEnabled(false)
+		if Run(Config{Engine: e, Bug: Race1}).Status.Buggy() {
+			bugs++
+		}
+	}
+	if bugs > 3 {
+		t.Fatalf("race manifested %d/5 without breakpoint", bugs)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	// The full-neighbor force sum is antisymmetric pairwise, so the net
+	// force on the system is ~zero and total momentum is conserved by
+	// the integrator (up to floating-point error).
+	s := NewSystem(27)
+	momentum := func() (px, py, pz float64) {
+		for i := 0; i < s.N; i++ {
+			px += s.VX[i]
+			py += s.VY[i]
+			pz += s.VZ[i]
+		}
+		return
+	}
+	px0, py0, pz0 := momentum()
+	for st := 0; st < 5; st++ {
+		s.forceRange(0, s.N, func(int64) {}, func(int64) {})
+		s.integrate()
+	}
+	px, py, pz := momentum()
+	const tol = 1e-9
+	if abs(px-px0) > tol || abs(py-py0) > tol || abs(pz-pz0) > tol {
+		t.Fatalf("momentum drifted: (%g,%g,%g) -> (%g,%g,%g)", px0, py0, pz0, px, py, pz)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestForceRangeSplitEquivalence(t *testing.T) {
+	// The force arrays must be identical whether computed over [0,N) or
+	// the two-range split (forces depend only on positions). The
+	// fixed-point energy sums match when the split boundary aligns with
+	// the accumulation chunk, which is how Run arranges its reference.
+	whole := NewSystem(27)
+	split := NewSystem(27)
+	whole.forceRange(0, whole.N, func(int64) {}, func(int64) {})
+	mid := split.N / 2
+	split.forceRange(0, mid, func(int64) {}, func(int64) {})
+	split.forceRange(mid, split.N, func(int64) {}, func(int64) {})
+	for i := 0; i < whole.N; i++ {
+		if whole.FX[i] != split.FX[i] || whole.FY[i] != split.FY[i] || whole.FZ[i] != split.FZ[i] {
+			t.Fatalf("force mismatch at particle %d", i)
+		}
+	}
+
+	// Aligned case (64 particles, mid 32, chunk 4): energies too.
+	wholeA := NewSystem(64)
+	splitA := NewSystem(64)
+	var eWhole, eSplit int64
+	wholeA.forceRange(0, wholeA.N, func(d int64) { eWhole += d }, func(int64) {})
+	midA := splitA.N / 2
+	splitA.forceRange(0, midA, func(d int64) { eSplit += d }, func(int64) {})
+	splitA.forceRange(midA, splitA.N, func(d int64) { eSplit += d }, func(int64) {})
+	if eWhole != eSplit {
+		t.Fatalf("aligned split energy %d != whole %d", eSplit, eWhole)
+	}
+}

@@ -1,0 +1,627 @@
+// Package mysql models the MySQL server versions of the paper's Table 2
+// as one mini SQL engine (tables, a statement executor, and a binary
+// log) with the three reproducible bugs:
+//
+//   - Log omission (MySQL 4.0.12, bug #791, 2 CBRs): a committed write's
+//     binlog record is appended concurrently with FLUSH LOGS rotation;
+//     if the append lands between the rotation's snapshot and its
+//     truncation, the record vanishes from every log segment.
+//
+//   - Log disorder (MySQL 3.23.56, bug #169, 1 CBR): commit sequence
+//     numbers are assigned before the binlog append, so two sessions can
+//     append in the opposite order of their commits, producing a binlog
+//     that replays incorrectly.
+//
+//   - Server crash (MySQL 4.0.19, bug #3596, 3 CBRs): a DROP TABLE frees
+//     a table's row storage while a delayed-insert handler that already
+//     looked the table up dereferences it — a null-pointer crash.
+package mysql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+)
+
+// Breakpoint names for engine statistics.
+const (
+	BPOmitApply  = "mysql.omit.cbr1" // commit apply vs rotation snapshot
+	BPOmitAppend = "mysql.omit.cbr2" // binlog append vs rotation truncate
+	BPDisorder   = "mysql.disorder.cbr1"
+	BPCrashAlign = "mysql.crash.cbr1" // handler entry vs drop entry
+	BPCrashFree  = "mysql.crash.cbr2" // storage free vs row use
+	BPCrashHide  = "mysql.crash.cbr3" // map removal vs handler lookup
+)
+
+// Row is one table row.
+type Row struct {
+	ID    int64
+	Value string
+}
+
+// rows is the heap-allocated row storage a DROP frees.
+type rows struct {
+	data []Row
+}
+
+// Table is a named table whose row storage is reachable through a
+// pointer that DROP TABLE nils out (the crash bug's freed object).
+type Table struct {
+	Name    string
+	storage *memory.Ref[rows]
+	dropped *memory.Cell
+}
+
+func newTable(name string) *Table {
+	return &Table{
+		Name:    name,
+		storage: memory.NewRef(nil, "mysql.storage."+name, &rows{}),
+		dropped: memory.NewCell(nil, "mysql.dropped."+name, 0),
+	}
+}
+
+// LogRecord is one binlog entry.
+type LogRecord struct {
+	LSN int64
+	SQL string
+}
+
+// Binlog is the binary log: a current segment plus rotated archives.
+type Binlog struct {
+	mu       *locks.Mutex
+	current  []LogRecord
+	archives [][]LogRecord
+}
+
+func newBinlog() *Binlog { return &Binlog{mu: locks.NewMutex("mysql.binlog")} }
+
+// Append adds a record to the current segment.
+func (b *Binlog) Append(r LogRecord) {
+	b.mu.WithAt("sql/log.cc:append", func() { b.current = append(b.current, r) })
+}
+
+// snapshot returns the current segment's contents.
+func (b *Binlog) snapshot() []LogRecord {
+	var out []LogRecord
+	b.mu.WithAt("sql/log.cc:snapshot", func() {
+		out = append(out, b.current...)
+	})
+	return out
+}
+
+// truncate archives snap and resets the current segment to empty —
+// discarding anything appended after the snapshot (the omission bug's
+// destructive half).
+func (b *Binlog) truncate(snap []LogRecord) {
+	b.mu.WithAt("sql/log.cc:truncate", func() {
+		b.archives = append(b.archives, snap)
+		b.current = nil
+	})
+}
+
+// Contains reports whether any segment holds a record with the given
+// LSN.
+func (b *Binlog) Contains(lsn int64) bool {
+	found := false
+	b.mu.With(func() {
+		for _, r := range b.current {
+			if r.LSN == lsn {
+				found = true
+			}
+		}
+		for _, seg := range b.archives {
+			for _, r := range seg {
+				if r.LSN == lsn {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// AllLSNs returns every logged LSN in append order (current segment
+// after archives).
+func (b *Binlog) AllLSNs() []int64 {
+	var out []int64
+	b.mu.With(func() {
+		for _, seg := range b.archives {
+			for _, r := range seg {
+				out = append(out, r.LSN)
+			}
+		}
+		for _, r := range b.current {
+			out = append(out, r.LSN)
+		}
+	})
+	return out
+}
+
+// Server is the mini SQL engine.
+type Server struct {
+	mu      *locks.Mutex // guards the table catalog
+	tables  map[string]*Table
+	binlog  *Binlog
+	nextLSN *memory.Cell
+	cfg     *Config
+}
+
+// NewServer returns a server with an empty catalog.
+func NewServer(cfg *Config) *Server {
+	return &Server{
+		mu:      locks.NewMutex("mysql.catalog"),
+		tables:  make(map[string]*Table),
+		binlog:  newBinlog(),
+		nextLSN: memory.NewCell(nil, "mysql.lsn", 0),
+		cfg:     cfg,
+	}
+}
+
+// CreateTable registers a new table.
+func (s *Server) CreateTable(name string) *Table {
+	t := newTable(name)
+	s.mu.With(func() { s.tables[name] = t })
+	return t
+}
+
+// lookup returns the named table or nil.
+func (s *Server) lookup(name string) *Table {
+	var t *Table
+	s.mu.With(func() { t = s.tables[name] })
+	return t
+}
+
+// Exec parses and executes one SQL-ish statement on behalf of session
+// id. Supported:
+//
+//	INSERT INTO t VALUES ('v')
+//	SELECT COUNT(*) FROM t [WHERE value = 'v']
+//	UPDATE t SET value = 'new' WHERE value = 'old'   (returns rows changed)
+//	DELETE FROM t WHERE value = 'v'                   (returns rows removed)
+//	DROP TABLE t
+//	FLUSH LOGS
+func (s *Server) Exec(session int, stmt string) (int64, error) {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("empty statement")
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "INSERT":
+		// INSERT INTO <t> VALUES ('<v>')
+		if len(fields) < 4 || !strings.EqualFold(fields[1], "INTO") ||
+			!strings.EqualFold(strings.TrimRight(fields[3], "('\""), "VALUES") {
+			return 0, fmt.Errorf("parse error: %q", stmt)
+		}
+		val, err := unquote(strings.Join(fields[3:], " "), stmt)
+		if err != nil {
+			return 0, err
+		}
+		return s.insert(session, fields[2], val, stmt)
+	case "SELECT":
+		// SELECT COUNT(*) FROM <t> [WHERE value = '<v>']
+		if len(fields) < 4 || !strings.EqualFold(fields[2], "FROM") {
+			return 0, fmt.Errorf("parse error: %q", stmt)
+		}
+		filter, err := parseWhere(fields[4:], stmt)
+		if err != nil {
+			return 0, err
+		}
+		return s.count(fields[3], filter)
+	case "UPDATE":
+		// UPDATE <t> SET value = '<new>' WHERE value = '<old>'
+		return s.update(session, fields, stmt)
+	case "DELETE":
+		// DELETE FROM <t> WHERE value = '<v>'
+		if len(fields) < 3 || !strings.EqualFold(fields[1], "FROM") {
+			return 0, fmt.Errorf("parse error: %q", stmt)
+		}
+		filter, err := parseWhere(fields[3:], stmt)
+		if err != nil {
+			return 0, err
+		}
+		if filter == nil {
+			return 0, fmt.Errorf("DELETE requires a WHERE clause: %q", stmt)
+		}
+		return s.delete(session, fields[2], filter, stmt)
+	case "DROP":
+		if len(fields) < 3 || !strings.EqualFold(fields[1], "TABLE") {
+			return 0, fmt.Errorf("parse error: %q", stmt)
+		}
+		return 0, s.dropTable(fields[2])
+	case "FLUSH":
+		s.FlushLogs()
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("unsupported statement: %q", stmt)
+	}
+}
+
+// unquote extracts the text between the first pair of matching quotes
+// (single or double) in s.
+func unquote(s, stmt string) (string, error) {
+	for _, q := range []byte{'\'', '"'} {
+		if i := strings.IndexByte(s, q); i >= 0 {
+			if j := strings.IndexByte(s[i+1:], q); j >= 0 {
+				return s[i+1 : i+1+j], nil
+			}
+		}
+	}
+	return "", fmt.Errorf("missing quoted value in %q", stmt)
+}
+
+// parseWhere parses an optional trailing "WHERE value = '<v>'" clause
+// and returns a row predicate (nil = match all).
+func parseWhere(fields []string, stmt string) (func(Row) bool, error) {
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	if len(fields) < 4 || !strings.EqualFold(fields[0], "WHERE") ||
+		!strings.EqualFold(fields[1], "value") || fields[2] != "=" {
+		return nil, fmt.Errorf("parse error in WHERE clause: %q", stmt)
+	}
+	want, err := unquote(strings.Join(fields[3:], " "), stmt)
+	if err != nil {
+		return nil, err
+	}
+	return func(r Row) bool { return r.Value == want }, nil
+}
+
+// update applies UPDATE ... SET value = 'new' WHERE value = 'old' and
+// binlogs the statement when it changed rows.
+func (s *Server) update(session int, fields []string, stmt string) (int64, error) {
+	// UPDATE t SET value = 'new' WHERE ...
+	if len(fields) < 6 || !strings.EqualFold(fields[2], "SET") ||
+		!strings.EqualFold(fields[3], "value") || fields[4] != "=" {
+		return 0, fmt.Errorf("parse error: %q", stmt)
+	}
+	rest := fields[5:]
+	newVal := strings.Trim(rest[0], "'\" ")
+	var filter func(Row) bool
+	for i, f := range rest {
+		if strings.EqualFold(f, "WHERE") {
+			newVal = strings.Trim(strings.Join(rest[:i], " "), "'\" ")
+			var err error
+			if filter, err = parseWhere(rest[i:], stmt); err != nil {
+				return 0, err
+			}
+			break
+		}
+	}
+	t := s.lookup(fields[1])
+	if t == nil {
+		return 0, fmt.Errorf("table %q does not exist", fields[1])
+	}
+	var changed int64
+	t.withStorage(func(r *rows) {
+		for i := range r.data {
+			if filter == nil || filter(r.data[i]) {
+				r.data[i].Value = newVal
+				changed++
+			}
+		}
+	})
+	if changed > 0 {
+		lsn := s.nextLSN.AtomicAdd("mysql:lsn", 1)
+		s.binlog.Append(LogRecord{LSN: lsn, SQL: stmt})
+	}
+	return changed, nil
+}
+
+// delete removes matching rows and binlogs the statement when it
+// removed any.
+func (s *Server) delete(session int, table string, filter func(Row) bool, stmt string) (int64, error) {
+	t := s.lookup(table)
+	if t == nil {
+		return 0, fmt.Errorf("table %q does not exist", table)
+	}
+	var removed int64
+	t.withStorage(func(r *rows) {
+		kept := r.data[:0]
+		for _, row := range r.data {
+			if filter(row) {
+				removed++
+			} else {
+				kept = append(kept, row)
+			}
+		}
+		r.data = kept
+	})
+	if removed > 0 {
+		lsn := s.nextLSN.AtomicAdd("mysql:lsn", 1)
+		s.binlog.Append(LogRecord{LSN: lsn, SQL: stmt})
+	}
+	return removed, nil
+}
+
+// insert applies the write and then logs it — with the omission and
+// disorder windows between LSN assignment, apply, and append.
+func (s *Server) insert(session int, table, value, stmt string) (int64, error) {
+	t := s.lookup(table)
+	if t == nil {
+		return 0, fmt.Errorf("table %q does not exist", table)
+	}
+	lsn := s.nextLSN.AtomicAdd("mysql:lsn", 1)
+	st := t.storage.Load("mysql:insert.load")
+	if st == nil {
+		panic("null pointer dereference in write_row (storage freed)")
+	}
+	t.withStorage(func(r *rows) {
+		r.data = append(r.data, Row{ID: lsn, Value: value})
+	})
+	if s.cfg.bug(LogOmission) {
+		// cbr1: the apply is ordered before the rotation snapshot, so
+		// the row exists but its record is not yet in the log.
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPOmitApply, s.binlog), true,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	if s.cfg.bug(LogDisorder) {
+		// One CBR: the later committer's append is ordered before the
+		// earlier committer's.
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPDisorder, s.binlog), session == 2,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	append := func() { s.binlog.Append(LogRecord{LSN: lsn, SQL: stmt}) }
+	if s.cfg.bug(LogOmission) {
+		// cbr2: the append is ordered before the rotation truncate —
+		// landing in the segment the truncate is about to discard.
+		s.cfg.Engine.TriggerHereAnd(core.NewConflictTrigger(BPOmitAppend, s.binlog), true,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1}, append)
+	} else {
+		append()
+	}
+	return lsn, nil
+}
+
+// withStorage mutates the row storage through the freeable pointer.
+func (t *Table) withStorage(f func(*rows)) {
+	st := t.storage.Load("mysql:storage.use")
+	if st == nil {
+		panic("null pointer dereference in storage access (table dropped)")
+	}
+	f(st)
+}
+
+// count is SELECT COUNT(*) with an optional row filter.
+func (s *Server) count(table string, filter func(Row) bool) (int64, error) {
+	t := s.lookup(table)
+	if t == nil {
+		return 0, fmt.Errorf("table %q does not exist", table)
+	}
+	st := t.storage.Load("mysql:count.load")
+	if st == nil {
+		panic("null pointer dereference in rnd_init (storage freed)")
+	}
+	if filter == nil {
+		return int64(len(st.data)), nil
+	}
+	var n int64
+	for _, r := range st.data {
+		if filter(r) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// FlushLogs rotates the binlog: snapshot, then truncate. The window
+// between them is where a concurrent append's record is lost.
+func (s *Server) FlushLogs() {
+	if s.cfg.bug(LogOmission) {
+		// cbr1 second side: wait for the committer's apply.
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPOmitApply, s.binlog), false,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	snap := s.binlog.snapshot()
+	if s.cfg.bug(LogOmission) {
+		// cbr2 second side: let the committer's append land before the
+		// truncate discards the segment.
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPOmitAppend, s.binlog), false,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	s.binlog.truncate(snap)
+}
+
+// DelayedInsert is the INSERT DELAYED handler path of the crash bug: it
+// looks the table up, re-checks the dropped flag, and then uses the row
+// storage — with breakpoint windows letting a concurrent DROP TABLE
+// free the storage in between.
+func (s *Server) DelayedInsert(table, value string) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("server crash: %v", p)
+		}
+	}()
+	if s.cfg.bug(ServerCrash) {
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashAlign, s), true,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	t := s.lookup(table)
+	if t == nil {
+		return fmt.Errorf("table %q does not exist", table)
+	}
+	if s.cfg.bug(ServerCrash) {
+		// cbr3: keep the catalog entry visible until after this lookup.
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashHide, s.mu), true,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	if t.dropped.Load("mysql:delayed.check") != 0 {
+		return fmt.Errorf("table %q is being dropped", table)
+	}
+	if s.cfg.bug(ServerCrash) {
+		// cbr2 second side: the DROP's free lands between the check and
+		// the use.
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashFree, t.storage), false,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	lsn := s.nextLSN.AtomicAdd("mysql:lsn", 1)
+	t.withStorage(func(r *rows) {
+		r.data = append(r.data, Row{ID: lsn, Value: value})
+	})
+	s.binlog.Append(LogRecord{LSN: lsn, SQL: "INSERT DELAYED " + value})
+	return nil
+}
+
+// dropTable removes the table and frees its storage: catalog removal,
+// then the free — with breakpoint windows aligning it against a
+// concurrent delayed insert.
+func (s *Server) dropTable(name string) error {
+	if s.cfg.bug(ServerCrash) {
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashAlign, s), false,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	t := s.lookup(name)
+	if t == nil {
+		return fmt.Errorf("table %q does not exist", name)
+	}
+	if s.cfg.bug(ServerCrash) {
+		// cbr3 second side: the removal waits for the handler's lookup.
+		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashHide, s.mu), false,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	t.dropped.Store("mysql:drop.flag", 1)
+	s.mu.With(func() { delete(s.tables, name) })
+	free := func() { t.storage.Store("mysql:drop.free", nil) }
+	if s.cfg.bug(ServerCrash) {
+		// cbr2 first side: the free executes before the handler's use.
+		s.cfg.Engine.TriggerHereAnd(core.NewConflictTrigger(BPCrashFree, t.storage), true,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1}, free)
+	} else {
+		free()
+	}
+	return nil
+}
+
+// Bug selects which Table 2 bug a run exercises.
+type Bug int
+
+// The MySQL bugs of Table 2.
+const (
+	LogOmission Bug = iota // bug #791
+	LogDisorder            // bug #169
+	ServerCrash            // bug #3596
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Engine     *core.Engine
+	Bug        Bug
+	Breakpoint bool
+	Timeout    time.Duration
+}
+
+func (c *Config) bug(b Bug) bool {
+	return c != nil && c.Breakpoint && c.Bug == b
+}
+
+// Run drives the scenario for the configured bug and classifies the
+// outcome.
+func Run(cfg Config) appkit.Result {
+	if cfg.Engine == nil {
+		cfg.Engine = core.NewEngine()
+	}
+	srv := NewServer(&cfg)
+	srv.CreateTable("t1")
+	res := appkit.RunWithDeadline(60*time.Second, func() appkit.Result {
+		switch cfg.Bug {
+		case LogOmission:
+			return runOmission(srv)
+		case LogDisorder:
+			return runDisorder(srv)
+		default:
+			return runCrash(srv)
+		}
+	})
+	switch cfg.Bug {
+	case LogOmission:
+		res.BPHit = cfg.Engine.Stats(BPOmitAppend).Hits() > 0
+	case LogDisorder:
+		res.BPHit = cfg.Engine.Stats(BPDisorder).Hits() > 0
+	default:
+		res.BPHit = cfg.Engine.Stats(BPCrashFree).Hits() > 0
+	}
+	return res
+}
+
+func runOmission(srv *Server) appkit.Result {
+	var lsn int64
+	var insErr error
+	done := make(chan struct{}, 2)
+	go func() {
+		lsn, insErr = srv.Exec(1, "INSERT INTO t1 VALUES ('a')")
+		done <- struct{}{}
+	}()
+	go func() {
+		time.Sleep(time.Millisecond)
+		srv.Exec(2, "FLUSH LOGS")
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	if insErr != nil {
+		return appkit.Result{Status: appkit.TestFail, Detail: insErr.Error()}
+	}
+	n, _ := srv.count("t1", nil)
+	if n == 1 && !srv.binlog.Contains(lsn) {
+		return appkit.Result{Status: appkit.LogOmission,
+			Detail: fmt.Sprintf("row with LSN %d committed but absent from every binlog segment", lsn)}
+	}
+	return appkit.Result{Status: appkit.OK}
+}
+
+func runDisorder(srv *Server) appkit.Result {
+	done := make(chan struct{}, 2)
+	for session := 1; session <= 2; session++ {
+		go func(session int) {
+			if session == 2 {
+				// Session 2 commits after session 1, so its binlog
+				// record belongs after session 1's.
+				time.Sleep(time.Millisecond)
+			}
+			srv.Exec(session, fmt.Sprintf("INSERT INTO t1 VALUES ('s%d')", session))
+			done <- struct{}{}
+		}(session)
+	}
+	<-done
+	<-done
+	lsns := srv.binlog.AllLSNs()
+	if len(lsns) != 2 {
+		return appkit.Result{Status: appkit.TestFail,
+			Detail: fmt.Sprintf("binlog has %d records, want 2", len(lsns))}
+	}
+	if !sort.SliceIsSorted(lsns, func(i, j int) bool { return lsns[i] < lsns[j] }) {
+		return appkit.Result{Status: appkit.LogDisorder,
+			Detail: "binlog LSNs out of commit order: " + fmtLSNs(lsns)}
+	}
+	return appkit.Result{Status: appkit.OK}
+}
+
+func fmtLSNs(lsns []int64) string {
+	parts := make([]string, len(lsns))
+	for i, l := range lsns {
+		parts[i] = strconv.FormatInt(l, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+func runCrash(srv *Server) appkit.Result {
+	errCh := make(chan error, 2)
+	go func() { errCh <- srv.DelayedInsert("t1", "x") }()
+	go func() {
+		time.Sleep(time.Millisecond)
+		_, err := srv.Exec(2, "DROP TABLE t1")
+		errCh <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; err != nil && strings.Contains(err.Error(), "crash") {
+			return appkit.Result{Status: appkit.Crash, Detail: err.Error()}
+		}
+	}
+	return appkit.Result{Status: appkit.OK}
+}

@@ -1,0 +1,186 @@
+package mysql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+)
+
+func quietServer() *Server {
+	e := core.NewEngine()
+	e.SetEnabled(false)
+	s := NewServer(&Config{Engine: e})
+	s.CreateTable("t1")
+	return s
+}
+
+func TestInsertAndCount(t *testing.T) {
+	s := quietServer()
+	if _, err := s.Exec(1, "INSERT INTO t1 VALUES ('hello')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(1, "INSERT INTO t1 VALUES ('world');"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Exec(1, "SELECT COUNT(*) FROM t1")
+	if err != nil || n != 2 {
+		t.Fatalf("count = %d, err = %v", n, err)
+	}
+}
+
+func TestBinlogRecordsCommits(t *testing.T) {
+	s := quietServer()
+	lsn, err := s.Exec(1, "INSERT INTO t1 VALUES ('a')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.binlog.Contains(lsn) {
+		t.Fatal("binlog missing committed record")
+	}
+	s.Exec(1, "FLUSH LOGS")
+	if !s.binlog.Contains(lsn) {
+		t.Fatal("rotation lost an archived record")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	s := quietServer()
+	if _, err := s.Exec(1, "DROP TABLE t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(1, "SELECT COUNT(*) FROM t1"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	if _, err := s.Exec(1, "DROP TABLE missing"); err == nil {
+		t.Fatal("dropping a missing table should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := quietServer()
+	for _, stmt := range []string{"", "INSERT t1", "SELECT COUNT(*) t1", "DROP t1", "TRUNCATE t1"} {
+		if _, err := s.Exec(1, stmt); err == nil {
+			t.Errorf("statement %q should not parse", stmt)
+		}
+	}
+}
+
+func TestDelayedInsertHappyPath(t *testing.T) {
+	s := quietServer()
+	if err := s.DelayedInsert("t1", "x"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := s.count("t1", nil)
+	if n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestLogOmissionReproduces(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		e := core.NewEngine()
+		r := Run(Config{Engine: e, Bug: LogOmission, Breakpoint: true, Timeout: 500 * time.Millisecond})
+		if r.Status != appkit.LogOmission || !r.BPHit {
+			t.Fatalf("run %d: %s", i, r)
+		}
+	}
+}
+
+func TestLogDisorderReproduces(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		e := core.NewEngine()
+		r := Run(Config{Engine: e, Bug: LogDisorder, Breakpoint: true, Timeout: 500 * time.Millisecond})
+		if r.Status != appkit.LogDisorder || !r.BPHit {
+			t.Fatalf("run %d: %s", i, r)
+		}
+	}
+}
+
+func TestServerCrashReproduces(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		e := core.NewEngine()
+		r := Run(Config{Engine: e, Bug: ServerCrash, Breakpoint: true, Timeout: 500 * time.Millisecond})
+		if r.Status != appkit.Crash || !r.BPHit {
+			t.Fatalf("run %d: %s", i, r)
+		}
+		if !strings.Contains(r.Detail, "null pointer dereference") {
+			t.Fatalf("run %d: detail %q", i, r.Detail)
+		}
+	}
+}
+
+func TestWithoutBreakpointsMostlyOK(t *testing.T) {
+	for _, bug := range []Bug{LogOmission, LogDisorder, ServerCrash} {
+		bugs := 0
+		for i := 0; i < 5; i++ {
+			e := core.NewEngine()
+			e.SetEnabled(false)
+			if Run(Config{Engine: e, Bug: bug}).Status.Buggy() {
+				bugs++
+			}
+		}
+		if bugs > 1 {
+			t.Errorf("bug %v manifested %d/5 without breakpoints", bug, bugs)
+		}
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	s := quietServer()
+	s.Exec(1, "INSERT INTO t1 VALUES ('apple')")
+	s.Exec(1, "INSERT INTO t1 VALUES ('banana')")
+	s.Exec(1, "INSERT INTO t1 VALUES ('apple')")
+	n, err := s.Exec(1, "SELECT COUNT(*) FROM t1 WHERE value = 'apple'")
+	if err != nil || n != 2 {
+		t.Fatalf("count = %d, err = %v", n, err)
+	}
+	n, err = s.Exec(1, "SELECT COUNT(*) FROM t1 WHERE value = 'cherry'")
+	if err != nil || n != 0 {
+		t.Fatalf("count = %d, err = %v", n, err)
+	}
+	if _, err := s.Exec(1, "SELECT COUNT(*) FROM t1 WHERE id = 1"); err == nil {
+		t.Fatal("unsupported WHERE column parsed")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	s := quietServer()
+	s.Exec(1, "INSERT INTO t1 VALUES ('old')")
+	s.Exec(1, "INSERT INTO t1 VALUES ('old')")
+	s.Exec(1, "INSERT INTO t1 VALUES ('keep')")
+	before := len(s.binlog.AllLSNs())
+	changed, err := s.Exec(1, "UPDATE t1 SET value = 'new' WHERE value = 'old'")
+	if err != nil || changed != 2 {
+		t.Fatalf("changed = %d, err = %v", changed, err)
+	}
+	if n, _ := s.Exec(1, "SELECT COUNT(*) FROM t1 WHERE value = 'new'"); n != 2 {
+		t.Fatalf("new rows = %d", n)
+	}
+	if got := len(s.binlog.AllLSNs()); got != before+1 {
+		t.Fatalf("update not binlogged: %d records", got)
+	}
+	// No-op update is not binlogged.
+	changed, _ = s.Exec(1, "UPDATE t1 SET value = 'x' WHERE value = 'missing'")
+	if changed != 0 || len(s.binlog.AllLSNs()) != before+1 {
+		t.Fatal("no-op update binlogged")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := quietServer()
+	s.Exec(1, "INSERT INTO t1 VALUES ('x')")
+	s.Exec(1, "INSERT INTO t1 VALUES ('y')")
+	removed, err := s.Exec(1, "DELETE FROM t1 WHERE value = 'x'")
+	if err != nil || removed != 1 {
+		t.Fatalf("removed = %d, err = %v", removed, err)
+	}
+	if n, _ := s.count("t1", nil); n != 1 {
+		t.Fatalf("remaining = %d", n)
+	}
+	if _, err := s.Exec(1, "DELETE FROM t1"); err == nil {
+		t.Fatal("DELETE without WHERE accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package pbzip2
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Archive container format, so the compressor produces a real artifact
+// (pbzip2 writes a multi-stream bzip2 file; we write a multi-block
+// DEFLATE container):
+//
+//	magic   [4]byte  "CBZ1"
+//	count   uint32   number of blocks
+//	per block:
+//	  rawLen  uint32   uncompressed size
+//	  compLen uint32   compressed size
+//	  sum     uint32   checksum of the compressed bytes
+//	  data    [compLen]byte
+//
+// All integers are big-endian.
+
+// ArchiveMagic identifies the container format.
+var ArchiveMagic = [4]byte{'C', 'B', 'Z', '1'}
+
+// checksum32 is a simple rolling checksum over data (Fletcher-style).
+func checksum32(data []byte) uint32 {
+	var a, b uint32 = 1, 0
+	for _, c := range data {
+		a = (a + uint32(c)) % 65521
+		b = (b + a) % 65521
+	}
+	return b<<16 | a
+}
+
+// compressedBlock is one archive entry.
+type compressedBlock struct {
+	rawLen int
+	data   []byte
+}
+
+// WriteArchive serializes the blocks (index order) to w.
+func WriteArchive(w io.Writer, blocks []compressedBlock) error {
+	if _, err := w.Write(ArchiveMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(blocks))); err != nil {
+		return err
+	}
+	for i, b := range blocks {
+		hdr := []uint32{uint32(b.rawLen), uint32(len(b.data)), checksum32(b.data)}
+		for _, v := range hdr {
+			if err := binary.Write(w, binary.BigEndian, v); err != nil {
+				return fmt.Errorf("block %d header: %w", i, err)
+			}
+		}
+		if _, err := w.Write(b.data); err != nil {
+			return fmt.Errorf("block %d data: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadArchive parses and checksum-verifies an archive.
+func ReadArchive(r io.Reader) ([]compressedBlock, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != ArchiveMagic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("implausible block count %d", count)
+	}
+	blocks := make([]compressedBlock, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var rawLen, compLen, sum uint32
+		for _, p := range []*uint32{&rawLen, &compLen, &sum} {
+			if err := binary.Read(r, binary.BigEndian, p); err != nil {
+				return nil, fmt.Errorf("block %d header: %w", i, err)
+			}
+		}
+		data := make([]byte, compLen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("block %d data: %w", i, err)
+		}
+		if got := checksum32(data); got != sum {
+			return nil, fmt.Errorf("block %d checksum mismatch: %08x != %08x", i, got, sum)
+		}
+		blocks = append(blocks, compressedBlock{rawLen: int(rawLen), data: data})
+	}
+	return blocks, nil
+}
+
+// CompressArchive runs the full (correct) parallel pipeline: split,
+// compress across workers, reassemble in index order, and serialize the
+// container. It is the repaired counterpart of the buggy teardown in
+// Run, and what the quickstart-style use of this package looks like.
+func CompressArchive(input []byte, blockSize, workers int) ([]byte, error) {
+	blocks := SplitBlocks(input, blockSize)
+	out := make([]compressedBlock, len(blocks))
+	errCh := make(chan error, workers)
+	work := make(chan Block)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				data, err := CompressBlock(b.Data)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				out[b.Index] = compressedBlock{rawLen: len(b.Data), data: data}
+			}
+		}()
+	}
+	for _, b := range blocks {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	var buf bytes.Buffer
+	if err := WriteArchive(&buf, out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecompressArchive restores the original input from an archive.
+func DecompressArchive(archive []byte) ([]byte, error) {
+	blocks, err := ReadArchive(bytes.NewReader(archive))
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	for i, b := range blocks {
+		plain, err := DecompressBlock(b.data)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", i, err)
+		}
+		if len(plain) != b.rawLen {
+			return nil, fmt.Errorf("block %d: raw length %d != header %d", i, len(plain), b.rawLen)
+		}
+		out.Write(plain)
+	}
+	return out.Bytes(), nil
+}

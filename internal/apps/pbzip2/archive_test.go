@@ -1,0 +1,103 @@
+package pbzip2
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	input := makeInput(50 << 10)
+	arch, err := CompressArchive(input, 8<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arch) >= len(input) {
+		t.Fatalf("archive did not shrink: %d -> %d", len(input), len(arch))
+	}
+	restored, err := DecompressArchive(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored, input) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestArchiveBadMagic(t *testing.T) {
+	arch, _ := CompressArchive(makeInput(1024), 512, 2)
+	arch[0] = 'X'
+	if _, err := DecompressArchive(arch); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArchiveChecksumDetectsCorruption(t *testing.T) {
+	arch, _ := CompressArchive(makeInput(4096), 1024, 2)
+	// Flip a byte in the first block's payload (after magic, count, and
+	// the 12-byte block header).
+	arch[4+4+12+3] ^= 0xFF
+	if _, err := DecompressArchive(arch); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArchiveTruncated(t *testing.T) {
+	arch, _ := CompressArchive(makeInput(4096), 1024, 2)
+	if _, err := DecompressArchive(arch[:len(arch)/2]); err == nil {
+		t.Fatal("truncated archive accepted")
+	}
+	if _, err := DecompressArchive(arch[:3]); err == nil {
+		t.Fatal("tiny archive accepted")
+	}
+}
+
+func TestArchiveEmptyInput(t *testing.T) {
+	arch, err := CompressArchive(nil, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecompressArchive(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("restored %d bytes from empty input", len(restored))
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// Deterministic and sensitive to single-byte changes.
+	f := func(data []byte, idx uint16) bool {
+		a := checksum32(data)
+		if a != checksum32(data) {
+			return false
+		}
+		if len(data) == 0 {
+			return true
+		}
+		mut := append([]byte(nil), data...)
+		mut[int(idx)%len(mut)] ^= 0x01
+		return checksum32(mut) != a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchiveRoundTripProperty(t *testing.T) {
+	f := func(seed uint8, size uint16) bool {
+		n := int(size)%8192 + 1
+		input := makeInput(n)
+		arch, err := CompressArchive(input, 1024, 2)
+		if err != nil {
+			return false
+		}
+		restored, err := DecompressArchive(arch)
+		return err == nil && bytes.Equal(restored, input)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package pbzip2
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadArchive hardens the container parser: arbitrary bytes must
+// produce blocks or an error, never a panic or an over-allocation.
+func FuzzReadArchive(f *testing.F) {
+	good, _ := CompressArchive(makeInput(2048), 512, 2)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("CBZ1"))
+	f.Add([]byte("XYZ9aaaaaaaa"))
+	truncated := append([]byte(nil), good[:len(good)/2]...)
+	f.Add(truncated)
+	mutated := append([]byte(nil), good...)
+	if len(mutated) > 20 {
+		mutated[12] ^= 0xFF
+	}
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blocks, err := ReadArchive(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted archives must round-trip their own serialization.
+		var buf bytes.Buffer
+		if err := WriteArchive(&buf, blocks); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadArchive(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(blocks) {
+			t.Fatalf("round trip changed block count: %d != %d", len(again), len(blocks))
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package pbzip2
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	data := makeInput(10000)
+	c, err := CompressBlock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(data) {
+		t.Fatalf("compressible input did not shrink: %d -> %d", len(data), len(c))
+	}
+	d, err := DecompressBlock(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestSplitBlocks(t *testing.T) {
+	blocks := SplitBlocks(make([]byte, 100), 32)
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(blocks))
+	}
+	if len(blocks[3].Data) != 4 {
+		t.Fatalf("tail block = %d bytes", len(blocks[3].Data))
+	}
+	if blocks[2].Index != 2 {
+		t.Fatal("indices wrong")
+	}
+	if SplitBlocks(nil, 32) != nil {
+		t.Fatal("empty input should give no blocks")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue()
+	q.Push(Block{Index: 1})
+	q.Push(Block{Index: 2})
+	b, ok := q.Pop()
+	if !ok || b.Index != 1 {
+		t.Fatalf("pop = %+v %v", b, ok)
+	}
+	if q.Done() {
+		t.Fatal("queue done before close")
+	}
+	q.Pop()
+	q.Close()
+	if !q.Done() {
+		t.Fatal("queue not done after close+drain")
+	}
+}
+
+func TestCleanRunCompresses(t *testing.T) {
+	e := core.NewEngine()
+	e.SetEnabled(false)
+	r := Run(Config{Engine: e, InputSize: 32 << 10, BlockSize: 4 << 10})
+	if r.Status != appkit.OK {
+		t.Fatalf("clean run: %s", r)
+	}
+}
+
+func TestCrashReproduces(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		e := core.NewEngine()
+		r := Run(Config{Engine: e, Breakpoint: true, Timeout: 500 * time.Millisecond,
+			InputSize: 32 << 10, BlockSize: 4 << 10})
+		if r.Status != appkit.Crash || !r.BPHit {
+			t.Fatalf("run %d: %s", i, r)
+		}
+		if !strings.Contains(r.Detail, "crashed") {
+			t.Fatalf("run %d: detail %q", i, r.Detail)
+		}
+	}
+}
+
+func TestWithoutBreakpointsMostlyOK(t *testing.T) {
+	crashes := 0
+	for i := 0; i < 10; i++ {
+		e := core.NewEngine()
+		e.SetEnabled(false)
+		if Run(Config{Engine: e, InputSize: 16 << 10, BlockSize: 4 << 10}).Status == appkit.Crash {
+			crashes++
+		}
+	}
+	if crashes > 3 {
+		t.Fatalf("crashed %d/10 without breakpoints", crashes)
+	}
+}

@@ -1,0 +1,230 @@
+// Package syncset models a synchronized Set wrapper (Table 1 rows
+// "synchronizedSet"). Individual methods are synchronized; cross-method
+// sequences race:
+//
+//   - atomicity1: the classic toArray pattern — size() followed by
+//     copyInto(array-of-that-size) — interleaved with a concurrent add
+//     overflows the preallocated array and panics (Java's
+//     ArrayIndexOutOfBoundsException / ConcurrentModificationException).
+//   - deadlock1: two sets cross-calling addAll acquire the two monitors
+//     in opposite orders and deadlock.
+package syncset
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+	"cbreak/internal/locks"
+)
+
+// Breakpoint names for engine statistics.
+const (
+	BPAtomicity = "syncset.atomicity1"
+	BPDeadlock  = "syncset.deadlock1"
+)
+
+// Set is a synchronized set of int64.
+type Set struct {
+	mu *locks.Mutex
+	m  map[int64]struct{}
+}
+
+// NewSet returns an empty synchronized set.
+func NewSet(name string) *Set {
+	return &Set{mu: locks.NewMutex(name), m: make(map[int64]struct{})}
+}
+
+// Add inserts v and reports whether it was new (synchronized).
+func (s *Set) Add(v int64) bool {
+	var added bool
+	s.mu.With(func() {
+		if _, ok := s.m[v]; !ok {
+			s.m[v] = struct{}{}
+			added = true
+		}
+	})
+	return added
+}
+
+// Contains reports membership (synchronized).
+func (s *Set) Contains(v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[v]
+	return ok
+}
+
+// Remove deletes v and reports whether it was present (synchronized).
+func (s *Set) Remove(v int64) bool {
+	var had bool
+	s.mu.With(func() {
+		if _, ok := s.m[v]; ok {
+			delete(s.m, v)
+			had = true
+		}
+	})
+	return had
+}
+
+// Size returns the element count (synchronized).
+func (s *Set) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// CopyInto writes the elements into dst (synchronized); like Java's
+// toArray(T[]) with a too-small array, it panics when the set has grown
+// past len(dst) since the caller sized it.
+func (s *Set) CopyInto(dst []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.m) > len(dst) {
+		panic(fmt.Sprintf("ArrayIndexOutOfBounds: size=%d capacity=%d", len(s.m), len(dst)))
+	}
+	i := 0
+	for v := range s.m {
+		dst[i] = v
+		i++
+	}
+	sort.Slice(dst[:i], func(a, b int) bool { return dst[a] < dst[b] })
+}
+
+// AddAll inserts every element of other, holding s's monitor then
+// other's — the crossed-acquisition deadlock site.
+func (s *Set) AddAll(other *Set, cfg *Config) {
+	s.mu.LockAt("SynchronizedSet.addAll:outer")
+	defer s.mu.Unlock()
+	if cfg != nil && cfg.Breakpoint && cfg.Bug == Deadlock {
+		cfg.Engine.TriggerHere(
+			core.NewDeadlockTrigger(BPDeadlock, s.mu, other.mu), cfg.first(s),
+			core.Options{Timeout: cfg.Timeout})
+	}
+	other.mu.LockAt("SynchronizedSet.addAll:inner")
+	defer other.mu.Unlock()
+	for v := range other.m {
+		s.m[v] = struct{}{}
+	}
+}
+
+// Bug selects the seeded bug.
+type Bug int
+
+const (
+	// Atomicity is the size/copyInto vs add violation.
+	Atomicity Bug = iota
+	// Deadlock is the crossed addAll deadlock.
+	Deadlock
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Engine     *core.Engine
+	Bug        Bug
+	Breakpoint bool
+	Timeout    time.Duration
+	StallAfter time.Duration
+
+	firstSet *Set
+}
+
+func (c *Config) first(s *Set) bool { return s == c.firstSet }
+
+func (c *Config) stallAfter() time.Duration {
+	if c.StallAfter <= 0 {
+		return 2 * time.Second
+	}
+	return c.StallAfter
+}
+
+// Run executes the selected scenario once.
+func Run(cfg Config) appkit.Result {
+	if cfg.Engine == nil {
+		cfg.Engine = core.NewEngine()
+	}
+	switch cfg.Bug {
+	case Deadlock:
+		return runDeadlock(cfg)
+	default:
+		return runAtomicity(cfg)
+	}
+}
+
+// runAtomicity races a snapshotter (size then copyInto) against a writer
+// that periodically grows the set.
+func runAtomicity(cfg Config) appkit.Result {
+	s := NewSet("set")
+	for i := int64(0); i < 8; i++ {
+		s.Add(i)
+	}
+	opts := core.Options{Timeout: cfg.Timeout, Bound: 1}
+	res := appkit.RunWithDeadline(30*time.Second, func() appkit.Result {
+		errCh := make(chan any, 2)
+		spawn := func(f func()) {
+			go func() {
+				defer func() { errCh <- recover() }()
+				f()
+			}()
+		}
+		// Snapshotter.
+		spawn(func() {
+			for j := 0; j < 2000; j++ {
+				n := s.Size()
+				if cfg.Breakpoint {
+					cfg.Engine.TriggerHere(core.NewAtomicityTrigger(BPAtomicity, s), false, opts)
+				}
+				s.CopyInto(make([]int64, n))
+			}
+		})
+		// Grower: periodically adds a batch, then trims back.
+		spawn(func() {
+			next := int64(1000)
+			for j := 0; j < 50; j++ {
+				grow := func() {
+					for k := 0; k < 4; k++ {
+						s.Add(next)
+						next++
+					}
+				}
+				if cfg.Breakpoint {
+					cfg.Engine.TriggerHereAnd(core.NewAtomicityTrigger(BPAtomicity, s), true, opts, grow)
+				} else {
+					grow()
+				}
+				time.Sleep(time.Millisecond) // unrelated work
+				for k := int64(1); k <= 4; k++ {
+					s.Remove(next - k)
+				}
+			}
+		})
+		for i := 0; i < 2; i++ {
+			if p := <-errCh; p != nil {
+				return appkit.Result{Status: appkit.Exception, Detail: fmt.Sprint(p)}
+			}
+		}
+		return appkit.Result{Status: appkit.OK}
+	})
+	res.BPHit = cfg.Engine.Stats(BPAtomicity).Hits() > 0
+	return res
+}
+
+func runDeadlock(cfg Config) appkit.Result {
+	s1 := NewSet("s1")
+	s2 := NewSet("s2")
+	s1.Add(1)
+	s2.Add(2)
+	cfg.firstSet = s1
+	res := appkit.RunWithDeadline(cfg.stallAfter(), func() appkit.Result {
+		done := make(chan struct{}, 2)
+		go func() { s1.AddAll(s2, &cfg); done <- struct{}{} }()
+		go func() { s2.AddAll(s1, &cfg); done <- struct{}{} }()
+		<-done
+		<-done
+		return appkit.Result{Status: appkit.OK}
+	})
+	res.BPHit = cfg.Engine.Stats(BPDeadlock).Hits() > 0
+	return res
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Engine implements the BTrigger mechanism: it keeps the set of
+// postponed goroutines, matches arriving triggers against it, and
+// enforces the ordering action of a hit breakpoint.
+//
+// An Engine is safe for concurrent use. The zero value is not usable;
+// create engines with NewEngine. Most programs use the package-level
+// default engine through the cbreak facade.
+type Engine struct {
+	enabled atomic.Bool
+
+	// DefaultTimeout is the pause time T applied when Options.Timeout
+	// is zero. The paper uses 100ms as the default.
+	DefaultTimeout time.Duration
+
+	// OrderWindow is how long the second-action goroutine yields after
+	// the first-action goroutine has been released, when the first side
+	// used plain TriggerHere (no explicit handshake). It gives the
+	// first side's next instruction time to execute first.
+	OrderWindow time.Duration
+
+	mu        sync.Mutex
+	postponed map[string][]*waiter
+	multi     map[string][]*mwaiter // N-way breakpoints (multi.go)
+	stats     map[string]*BPStats
+	seq       uint64 // arrival sequence, for deterministic matching order
+
+	events eventLog // bounded event history + hit callback (events.go)
+}
+
+// yield gives other goroutines the processor during ordering windows.
+func yield() { runtime.Gosched() }
+
+// NewEngine returns an enabled engine with the paper's default pause
+// time of 100ms and a 100µs ordering window.
+func NewEngine() *Engine {
+	e := &Engine{
+		DefaultTimeout: 100 * time.Millisecond,
+		OrderWindow:    100 * time.Microsecond,
+		postponed:      make(map[string][]*waiter),
+		multi:          make(map[string][]*mwaiter),
+		stats:          make(map[string]*BPStats),
+	}
+	e.enabled.Store(true)
+	return e
+}
+
+// SetEnabled turns the engine on or off. Disabled breakpoints cost a
+// single atomic load, so they can be left in production code like
+// assertions.
+func (e *Engine) SetEnabled(v bool) { e.enabled.Store(v) }
+
+// Enabled reports whether the engine is active.
+func (e *Engine) Enabled() bool { return e.enabled.Load() }
+
+// Reset discards all postponed waiters and statistics. Any currently
+// postponed goroutines are released with a timeout outcome.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ws := range e.postponed {
+		for _, w := range ws {
+			if w.state == waiterWaiting {
+				w.state = waiterCancelled
+				close(w.cancelCh)
+			}
+		}
+	}
+	for _, ws := range e.multi {
+		for _, w := range ws {
+			if w.state == waiterWaiting {
+				w.state = waiterCancelled
+				close(w.cancelCh)
+			}
+		}
+	}
+	e.postponed = make(map[string][]*waiter)
+	e.multi = make(map[string][]*mwaiter)
+	e.stats = make(map[string]*BPStats)
+}
+
+// matchResult is delivered to a postponed waiter when a partner arrives.
+type matchResult struct {
+	other     Trigger
+	iAmFirst  bool
+	firstDone chan struct{} // closed when the first side has proceeded
+}
+
+// waiter states, guarded by the engine mutex.
+const (
+	waiterWaiting = iota
+	waiterMatched
+	waiterCancelled
+)
+
+type waiter struct {
+	t        Trigger
+	first    bool
+	gid      uint64
+	seq      uint64
+	ch       chan matchResult // buffered, capacity 1
+	cancelCh chan struct{}    // closed by Reset to release the waiter
+	state    int              // guarded by engine mu
+	action   func()           // optional first-action instruction (TriggerHereAnd)
+}
+
+// TriggerHere announces that the calling goroutine has reached one side
+// of the breakpoint t. first states the breakpoint's ordering action: the
+// side called with first=true executes its next instruction before the
+// side called with first=false. TriggerHere returns true if and only if
+// the breakpoint was hit (both sides arrived, all predicates held, and
+// the ordering was enforced).
+//
+// Mechanism (section 3 of the paper): if the local predicate holds, the
+// goroutine is postponed for up to the timeout, waiting in the engine's
+// Postponed set. If a partner with a satisfied joint predicate arrives
+// in the meantime, the breakpoint is hit; otherwise the goroutine times
+// out and continues, so a breakpoint can never deadlock the program.
+func (e *Engine) TriggerHere(t Trigger, first bool, opts Options) bool {
+	return e.trigger(t, first, opts, nil) == OutcomeHit
+}
+
+// TriggerHereAnd is TriggerHere with a strict ordering handshake: when
+// this call is the first-action side of a hit breakpoint, action (the
+// "next instruction" at the breakpoint location) runs inside the call and
+// the second side is released only after action returns. When the
+// breakpoint is not hit, or this is the second-action side, action runs
+// before TriggerHereAnd returns as well, so call sites can uniformly move
+// the guarded instruction into action.
+func (e *Engine) TriggerHereAnd(t Trigger, first bool, opts Options, action func()) bool {
+	out := e.trigger(t, first, opts, action)
+	return out == OutcomeHit
+}
+
+// TriggerOutcome is TriggerHere returning the full outcome rather than
+// just hit/miss; useful for tests and statistics.
+func (e *Engine) TriggerOutcome(t Trigger, first bool, opts Options) Outcome {
+	return e.trigger(t, first, opts, nil)
+}
+
+func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Outcome {
+	if !e.enabled.Load() {
+		if action != nil {
+			action()
+		}
+		return OutcomeDisabled
+	}
+	name := t.Name()
+	st := e.statsFor(name)
+	st.arrived(first)
+
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = e.DefaultTimeout
+	}
+
+	if !e.localHolds(t, first, opts, st) {
+		st.localFalse(first)
+		// Log without the goroutine-id stack parse: local-false is the
+		// hot rejection path for refined breakpoints on busy sites.
+		e.logEvent(EventArrived, name, 0, first)
+		if action != nil {
+			action()
+		}
+		return OutcomeLocalFalse
+	}
+
+	gid := goroutineID()
+	e.logEvent(EventArrived, name, gid, first)
+
+	e.mu.Lock()
+	// Try to match an already-postponed partner.
+	if w := e.findPartner(name, t, first, gid); w != nil {
+		e.removeWaiter(name, w)
+		w.state = waiterMatched
+		st.hit()
+		e.logEvent(EventHit, name, gid, first)
+		e.emitHit(name, t, w.t)
+		fd := make(chan struct{})
+		if first {
+			// We are the first-action side; the postponed partner is second.
+			w.ch <- matchResult{other: t, iAmFirst: false, firstDone: fd}
+			e.mu.Unlock()
+			return e.runFirst(action, fd)
+		}
+		// The postponed partner is the first-action side.
+		w.ch <- matchResult{other: t, iAmFirst: true, firstDone: fd}
+		e.mu.Unlock()
+		e.awaitFirst(fd, timeout)
+		if action != nil {
+			action()
+		}
+		return OutcomeHit
+	}
+
+	// No partner yet: postpone ourselves.
+	e.seq++
+	w := &waiter{t: t, first: first, gid: gid, seq: e.seq,
+		ch: make(chan matchResult, 1), cancelCh: make(chan struct{}), action: action}
+	e.postponed[name] = append(e.postponed[name], w)
+	st.postpone(first)
+	e.mu.Unlock()
+	e.logEvent(EventPostponed, name, gid, first)
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	start := time.Now()
+	select {
+	case res := <-w.ch:
+		st.addWait(time.Since(start))
+		return e.finishMatch(res, action, timeout)
+	case <-w.cancelCh:
+		// Reset released us; treat as a timeout.
+		st.addWait(time.Since(start))
+		if action != nil {
+			action()
+		}
+		return OutcomeTimeout
+	case <-timer.C:
+		e.mu.Lock()
+		if w.state == waiterMatched {
+			// Matched concurrently with the timeout; honor the match.
+			e.mu.Unlock()
+			res := <-w.ch
+			st.addWait(time.Since(start))
+			return e.finishMatch(res, action, timeout)
+		}
+		e.removeWaiter(name, w)
+		w.state = waiterCancelled
+		e.mu.Unlock()
+		st.addWait(time.Since(start))
+		st.timeout(first)
+		e.logEvent(EventTimeout, name, gid, first)
+		if action != nil {
+			action()
+		}
+		return OutcomeTimeout
+	}
+}
+
+func (e *Engine) finishMatch(res matchResult, action func(), timeout time.Duration) Outcome {
+	if res.iAmFirst {
+		return e.runFirst(action, res.firstDone)
+	}
+	e.awaitFirst(res.firstDone, timeout)
+	if action != nil {
+		action()
+	}
+	return OutcomeHit
+}
+
+// runFirst executes the first-action side's next instruction (if the
+// caller supplied one) and then releases the second side. The release is
+// deferred so a panicking action (e.g. the guarded instruction throwing
+// the very exception the breakpoint reproduces) still frees the partner.
+func (e *Engine) runFirst(action func(), firstDone chan struct{}) Outcome {
+	if action != nil {
+		defer close(firstDone)
+		action()
+		return OutcomeHit
+	}
+	// No explicit next instruction: release the partner immediately; the
+	// partner additionally yields for OrderWindow so that this
+	// goroutine's next instruction very likely runs first.
+	close(firstDone)
+	return OutcomeHit
+}
+
+// awaitFirst blocks the second-action side until the first side has
+// proceeded, then yields for the ordering window. The window is a
+// Gosched spin rather than a sleep: OS timer quantization would stretch
+// a sub-millisecond sleep to a full tick, letting the first side's
+// *subsequent* instructions win the race against the second side's next
+// instruction and undoing the ordering the breakpoint promised.
+func (e *Engine) awaitFirst(firstDone chan struct{}, timeout time.Duration) {
+	select {
+	case <-firstDone:
+	case <-time.After(timeout):
+		// Defensive: never block forever even if the first side stalls.
+	}
+	if e.OrderWindow > 0 {
+		deadline := time.Now().Add(e.OrderWindow)
+		for time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// localHolds evaluates the effective local predicate: the trigger's own
+// PredicateLocal, the IgnoreFirst / Bound refinements, and ExtraLocal.
+func (e *Engine) localHolds(t Trigger, first bool, opts Options, st *BPStats) bool {
+	if !t.PredicateLocal() {
+		return false
+	}
+	if opts.IgnoreFirst > 0 && st.sideArrivals(first) <= int64(opts.IgnoreFirst) {
+		return false
+	}
+	if opts.Bound > 0 && st.Hits() >= int64(opts.Bound) {
+		return false
+	}
+	if opts.ExtraLocal != nil && !opts.ExtraLocal() {
+		return false
+	}
+	return true
+}
+
+// findPartner scans the postponed set for the oldest waiter that is a
+// valid partner for t: the opposite side of the breakpoint (the paper's
+// i != j condition), a different goroutine, and a satisfied joint
+// predicate (evaluated, as in the paper's library, as the arriving
+// side's predicateGlobal against the postponed side).
+func (e *Engine) findPartner(name string, t Trigger, first bool, gid uint64) *waiter {
+	var best *waiter
+	for _, w := range e.postponed[name] {
+		if w.state != waiterWaiting || w.gid == gid || w.first == first {
+			continue
+		}
+		if !t.PredicateGlobal(w.t) {
+			continue
+		}
+		if best == nil || w.seq < best.seq {
+			best = w
+		}
+	}
+	return best
+}
+
+func (e *Engine) removeWaiter(name string, w *waiter) {
+	ws := e.postponed[name]
+	for i, x := range ws {
+		if x == w {
+			ws[i] = ws[len(ws)-1]
+			e.postponed[name] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// PostponedCount returns the number of goroutines currently postponed on
+// the named breakpoint (both sides). Mainly for tests and diagnostics.
+func (e *Engine) PostponedCount(name string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.postponed[name])
+}

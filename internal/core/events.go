@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file adds observability to the engine: a bounded event log of
+// breakpoint activity and a hit callback. The paper's example trigger
+// classes print "Conflict" / "Deadlock" from predicateGlobal when a
+// breakpoint is reached (Figures 6 and 8); OnHit is the structured
+// version of that hook, and the event log gives a debugger the recent
+// breakpoint history of a run.
+
+// EventKind classifies an engine event.
+type EventKind int
+
+// Engine event kinds.
+const (
+	// EventArrived: a goroutine called TriggerHere.
+	EventArrived EventKind = iota
+	// EventPostponed: the goroutine entered the postponed set.
+	EventPostponed
+	// EventHit: a breakpoint rendezvoused.
+	EventHit
+	// EventTimeout: a postponement expired without a partner.
+	EventTimeout
+)
+
+// String returns the event-kind label.
+func (k EventKind) String() string {
+	switch k {
+	case EventArrived:
+		return "arrived"
+	case EventPostponed:
+		return "postponed"
+	case EventHit:
+		return "hit"
+	case EventTimeout:
+		return "timeout"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of the engine's event log.
+type Event struct {
+	// When is the event timestamp.
+	When time.Time
+	// Kind classifies the event.
+	Kind EventKind
+	// Breakpoint is the breakpoint name.
+	Breakpoint string
+	// GID is the goroutine involved.
+	GID uint64
+	// First reports the breakpoint side.
+	First bool
+}
+
+// String formats the event for logs.
+func (ev Event) String() string {
+	side := "second"
+	if ev.First {
+		side = "first"
+	}
+	return fmt.Sprintf("%s %s g%d (%s side)", ev.Breakpoint, ev.Kind, ev.GID, side)
+}
+
+// eventLog is a bounded ring of engine events.
+type eventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	onHit func(name string, t1, t2 Trigger)
+}
+
+const eventLogCapacity = 256
+
+func (l *eventLog) add(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buf == nil {
+		l.buf = make([]Event, eventLogCapacity)
+	}
+	l.buf[l.next] = ev
+	l.next = (l.next + 1) % len(l.buf)
+	if l.next == 0 {
+		l.full = true
+	}
+}
+
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buf == nil {
+		return nil
+	}
+	var out []Event
+	if l.full {
+		out = append(out, l.buf[l.next:]...)
+	}
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// SetOnHit installs a callback invoked (synchronously, on the arriving
+// goroutine) whenever a breakpoint is hit, with both sides' triggers —
+// the structured analog of the paper's "Conflict"/"Deadlock" println.
+// Pass nil to remove.
+func (e *Engine) SetOnHit(f func(name string, arriving, postponed Trigger)) {
+	e.events.mu.Lock()
+	e.events.onHit = f
+	e.events.mu.Unlock()
+}
+
+func (e *Engine) emitHit(name string, arriving, postponed Trigger) {
+	e.events.mu.Lock()
+	f := e.events.onHit
+	e.events.mu.Unlock()
+	if f != nil {
+		f(name, arriving, postponed)
+	}
+}
+
+// Events returns the engine's recent breakpoint events, oldest first
+// (bounded ring of 256).
+func (e *Engine) Events() []Event { return e.events.snapshot() }
+
+// logEvent appends to the ring (cheap enough to do unconditionally; the
+// engine is only active when breakpoints are enabled).
+func (e *Engine) logEvent(kind EventKind, name string, gid uint64, first bool) {
+	e.events.add(Event{When: time.Now(), Kind: kind, Breakpoint: name, GID: gid, First: first})
+}

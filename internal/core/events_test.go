@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	e := newTestEngine()
+	e.DefaultTimeout = 10 * time.Millisecond
+	obj := new(int)
+	// A lonely arrival: arrived -> postponed -> timeout.
+	e.TriggerHere(NewConflictTrigger("ev-bp", obj), true, Options{})
+	events := e.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3: %v", len(events), events)
+	}
+	wantKinds := []EventKind{EventArrived, EventPostponed, EventTimeout}
+	for i, ev := range events {
+		if ev.Kind != wantKinds[i] || ev.Breakpoint != "ev-bp" || !ev.First {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+		if ev.GID == 0 || ev.When.IsZero() {
+			t.Fatalf("event %d missing metadata: %+v", i, ev)
+		}
+	}
+}
+
+func TestEventLogRecordsHit(t *testing.T) {
+	e := newTestEngine()
+	obj := new(int)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); e.TriggerHere(NewConflictTrigger("hit-bp", obj), true, Options{}) }()
+	go func() { defer wg.Done(); e.TriggerHere(NewConflictTrigger("hit-bp", obj), false, Options{}) }()
+	wg.Wait()
+	var hits int
+	for _, ev := range e.Events() {
+		if ev.Kind == EventHit {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("hit events = %d, want 1: %v", hits, e.Events())
+	}
+}
+
+func TestEventRingBounded(t *testing.T) {
+	e := newTestEngine()
+	obj := new(int)
+	opts := Options{ExtraLocal: func() bool { return false }}
+	for i := 0; i < eventLogCapacity+50; i++ {
+		e.TriggerHere(NewConflictTrigger("ring", obj), true, opts)
+	}
+	events := e.Events()
+	if len(events) != eventLogCapacity {
+		t.Fatalf("ring size = %d, want %d", len(events), eventLogCapacity)
+	}
+}
+
+func TestOnHitCallback(t *testing.T) {
+	e := newTestEngine()
+	var called atomic.Int32
+	var gotName atomic.Value
+	e.SetOnHit(func(name string, arriving, postponed Trigger) {
+		called.Add(1)
+		gotName.Store(name)
+		if arriving == nil || postponed == nil {
+			t.Error("nil triggers in OnHit")
+		}
+	})
+	obj := new(int)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); e.TriggerHere(NewConflictTrigger("cb-bp", obj), true, Options{}) }()
+	go func() { defer wg.Done(); e.TriggerHere(NewConflictTrigger("cb-bp", obj), false, Options{}) }()
+	wg.Wait()
+	if called.Load() != 1 {
+		t.Fatalf("OnHit called %d times, want 1", called.Load())
+	}
+	if gotName.Load().(string) != "cb-bp" {
+		t.Fatalf("OnHit name = %v", gotName.Load())
+	}
+	// Removing the callback stops notifications.
+	e.SetOnHit(nil)
+	wg.Add(2)
+	go func() { defer wg.Done(); e.TriggerHere(NewConflictTrigger("cb-bp2", obj), true, Options{}) }()
+	go func() { defer wg.Done(); e.TriggerHere(NewConflictTrigger("cb-bp2", obj), false, Options{}) }()
+	wg.Wait()
+	if called.Load() != 1 {
+		t.Fatal("OnHit fired after removal")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EventArrived: "arrived", EventPostponed: "postponed",
+		EventHit: "hit", EventTimeout: "timeout", EventKind(9): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+	ev := Event{Kind: EventHit, Breakpoint: "b", GID: 3, First: true}
+	if !strings.Contains(ev.String(), "b hit g3 (first side)") {
+		t.Fatalf("event string = %q", ev.String())
+	}
+}
+
+func TestMultiHitEmitsEvent(t *testing.T) {
+	e := newTestEngine()
+	var called atomic.Int32
+	e.SetOnHit(func(name string, a, p Trigger) { called.Add(1) })
+	obj := new(int)
+	var wg sync.WaitGroup
+	for slot := 0; slot < 3; slot++ {
+		slot := slot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.TriggerHereMulti(NewConflictTrigger("multi-ev", obj), slot, 3,
+				Options{Timeout: 2 * time.Second})
+		}()
+	}
+	wg.Wait()
+	if called.Load() != 1 {
+		t.Fatalf("multi OnHit = %d, want 1", called.Load())
+	}
+}

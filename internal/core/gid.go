@@ -1,0 +1,28 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+)
+
+// goroutineID returns the current goroutine's numeric id by parsing the
+// first line of a stack trace ("goroutine 123 [running]:"). The id is
+// used only to ensure that the two sides of a breakpoint are distinct
+// goroutines (the paper's t1 != t2 condition); it is never used for
+// scheduling. The parse costs roughly a microsecond, which is negligible
+// next to breakpoint pause times.
+func goroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}

@@ -1,0 +1,39 @@
+package core
+
+import "time"
+
+// defaultEngine is the process-wide engine used by the package-level
+// helpers and the public cbreak facade. Breakpoints inserted into
+// application code normally go through this engine so that they behave
+// like global assertions that can be switched on and off.
+var defaultEngine = NewEngine()
+
+// Default returns the process-wide engine.
+func Default() *Engine { return defaultEngine }
+
+// SetEnabled enables or disables the default engine.
+func SetEnabled(v bool) { defaultEngine.SetEnabled(v) }
+
+// Enabled reports whether the default engine is enabled.
+func Enabled() bool { return defaultEngine.Enabled() }
+
+// Reset clears the default engine's postponed set and statistics.
+func Reset() { defaultEngine.Reset() }
+
+// TriggerHere calls Engine.TriggerHere on the default engine with the
+// given pause timeout (zero means the engine default), mirroring the
+// paper's triggerHere(isFirstAction, timeoutInMS) API.
+func TriggerHere(t Trigger, first bool, timeout time.Duration) bool {
+	return defaultEngine.TriggerHere(t, first, Options{Timeout: timeout})
+}
+
+// TriggerHereOpts calls Engine.TriggerHere on the default engine with
+// full options.
+func TriggerHereOpts(t Trigger, first bool, opts Options) bool {
+	return defaultEngine.TriggerHere(t, first, opts)
+}
+
+// TriggerHereAnd calls Engine.TriggerHereAnd on the default engine.
+func TriggerHereAnd(t Trigger, first bool, opts Options, action func()) bool {
+	return defaultEngine.TriggerHereAnd(t, first, opts, action)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsConservation checks the engine's accounting invariant: every
+// arrival either fails the local predicate, is postponed, or matches
+// instantly (one instant match per hit). So for any workload:
+//
+//	Arrivals == LocalFalses + Postpones + Hits
+func TestStatsConservation(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		e := NewEngine()
+		e.DefaultTimeout = 5 * time.Millisecond
+		rng := rand.New(rand.NewSource(seed))
+		objs := []*int{new(int), new(int), new(int)}
+		plan := make([]struct {
+			obj   *int
+			first bool
+			delay time.Duration
+		}, 40)
+		for i := range plan {
+			plan[i].obj = objs[rng.Intn(len(objs))]
+			plan[i].first = rng.Intn(2) == 0
+			plan[i].delay = time.Duration(rng.Intn(3000)) * time.Microsecond
+		}
+		var wg sync.WaitGroup
+		for _, p := range plan {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(p.delay)
+				e.TriggerHere(NewConflictTrigger("inv", p.obj), p.first, Options{})
+			}()
+		}
+		wg.Wait()
+		st := e.Stats("inv")
+		got := st.LocalFalses() + st.Postpones() + st.Hits()
+		if st.Arrivals() != got {
+			t.Fatalf("seed %d: arrivals=%d != localFalse+postpones+hits=%d (%s)",
+				seed, st.Arrivals(), got, st)
+		}
+		// Each hit pairs one instant-matcher with one postponed waiter.
+		if st.Hits() > st.Postpones() {
+			t.Fatalf("seed %d: hits=%d > postpones=%d", seed, st.Hits(), st.Postpones())
+		}
+		// No waiter may leak.
+		if n := e.PostponedCount("inv"); n != 0 {
+			t.Fatalf("seed %d: %d waiters leaked", seed, n)
+		}
+	}
+}
+
+// TestNoLeakUnderChurn hammers the engine with matching and
+// non-matching arrivals concurrently and verifies the postponed set
+// drains and all goroutines return.
+func TestNoLeakUnderChurn(t *testing.T) {
+	e := NewEngine()
+	e.DefaultTimeout = 2 * time.Millisecond
+	var wg sync.WaitGroup
+	shared := new(int)
+	for i := 0; i < 64; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			obj := shared
+			if i%8 == 7 {
+				obj = new(int) // a loner that can never match
+			}
+			for j := 0; j < 20; j++ {
+				e.TriggerHere(NewConflictTrigger("churn", obj), (i+j)%2 == 0, Options{})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("churn workload hung")
+	}
+	if n := e.PostponedCount("churn"); n != 0 {
+		t.Fatalf("%d waiters leaked", n)
+	}
+	st := e.Stats("churn")
+	if st.Arrivals() != 64*20 {
+		t.Fatalf("arrivals = %d, want %d", st.Arrivals(), 64*20)
+	}
+	if st.Arrivals() != st.LocalFalses()+st.Postpones()+st.Hits() {
+		t.Fatalf("conservation violated: %s", st)
+	}
+}
+
+// TestTimeoutAccuracy verifies a lonely trigger's pause is close to the
+// requested timeout — the pause time T is the paper's main tuning knob,
+// so it must be honored.
+func TestTimeoutAccuracy(t *testing.T) {
+	e := NewEngine()
+	for _, timeout := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond} {
+		start := time.Now()
+		e.TriggerHere(NewConflictTrigger("acc", new(int)), true, Options{Timeout: timeout})
+		elapsed := time.Since(start)
+		if elapsed < timeout || elapsed > timeout+40*time.Millisecond {
+			t.Fatalf("timeout %v: paused %v", timeout, elapsed)
+		}
+	}
+}
+
+// TestConcurrentEnginesIndependent verifies engines don't share state:
+// waiters on one engine never match triggers on another.
+func TestConcurrentEnginesIndependent(t *testing.T) {
+	e1, e2 := NewEngine(), NewEngine()
+	e1.DefaultTimeout = 20 * time.Millisecond
+	e2.DefaultTimeout = 20 * time.Millisecond
+	obj := new(int)
+	var hit1, hit2 bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); hit1 = e1.TriggerHere(NewConflictTrigger("x", obj), true, Options{}) }()
+	go func() { defer wg.Done(); hit2 = e2.TriggerHere(NewConflictTrigger("x", obj), false, Options{}) }()
+	wg.Wait()
+	if hit1 || hit2 {
+		t.Fatal("cross-engine match")
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import "time"
+
+// This file implements the paper's section 2 generalization: concurrent
+// breakpoints over more than two threads. A breakpoint of arity n is a
+// tuple (l1, ..., ln, phi); it is reached when n distinct goroutines sit
+// at their slots with phi satisfied, and the action releases them in
+// slot order (slot 0's next instruction first, then slot 1's, ...).
+//
+// The joint predicate phi is evaluated pairwise: a group matches when
+// PredicateGlobal holds between every pair of participants, which for
+// the built-in trigger classes coincides with the natural group
+// predicate (e.g. all sides referencing the same object).
+
+// mwaiter is one postponed participant of a multi-way breakpoint.
+type mwaiter struct {
+	t        Trigger
+	slot     int
+	arity    int
+	gid      uint64
+	seq      uint64
+	ch       chan mmatch
+	cancelCh chan struct{}
+	state    int // guarded by engine mu
+	action   func()
+}
+
+// mmatch tells a matched participant its release chain position.
+type mmatch struct {
+	prev chan struct{} // closed when the previous slot has proceeded
+	self chan struct{} // this participant closes it after its action
+}
+
+// TriggerHereMulti announces that the calling goroutine reached slot
+// `slot` of the n-way breakpoint t (slots are 0-based; slot order is the
+// release order). It returns true when the full group rendezvoused.
+func (e *Engine) TriggerHereMulti(t Trigger, slot, arity int, opts Options) bool {
+	return e.triggerMulti(t, slot, arity, opts, nil) == OutcomeHit
+}
+
+// TriggerHereMultiAnd is TriggerHereMulti with the slot's guarded next
+// instruction supplied as action: on a hit, actions run strictly in slot
+// order; on a miss, action runs before the call returns.
+func (e *Engine) TriggerHereMultiAnd(t Trigger, slot, arity int, opts Options, action func()) bool {
+	return e.triggerMulti(t, slot, arity, opts, action) == OutcomeHit
+}
+
+func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action func()) Outcome {
+	if arity < 2 || slot < 0 || slot >= arity {
+		if action != nil {
+			action()
+		}
+		return OutcomeLocalFalse
+	}
+	if !e.enabled.Load() {
+		if action != nil {
+			action()
+		}
+		return OutcomeDisabled
+	}
+	name := t.Name()
+	st := e.statsFor(name)
+	st.arrived(slot == 0)
+
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = e.DefaultTimeout
+	}
+	if !e.localHolds(t, slot == 0, opts, st) {
+		st.localFalse(slot == 0)
+		if action != nil {
+			action()
+		}
+		return OutcomeLocalFalse
+	}
+	gid := goroutineID()
+	e.logEvent(EventArrived, name, gid, slot == 0)
+
+	e.mu.Lock()
+	group := e.findGroup(name, t, slot, arity, gid)
+	if group != nil {
+		st.hit()
+		e.logEvent(EventHit, name, gid, slot == 0)
+		e.emitHit(name, t, group[0].t)
+		// Build the release chain: chain[i] is closed when slot i may
+		// proceed; chain[0] starts closed.
+		chain := make([]chan struct{}, arity+1)
+		for i := range chain {
+			chain[i] = make(chan struct{})
+		}
+		close(chain[0])
+		for _, w := range group {
+			w.state = waiterMatched
+			e.removeMultiWaiter(name, w)
+			w.ch <- mmatch{prev: chain[w.slot], self: chain[w.slot+1]}
+		}
+		e.mu.Unlock()
+		return e.runChainStage(chain[slot], chain[slot+1], action, timeout)
+	}
+
+	// Postpone.
+	e.seq++
+	w := &mwaiter{t: t, slot: slot, arity: arity, gid: gid, seq: e.seq,
+		ch: make(chan mmatch, 1), cancelCh: make(chan struct{}), action: action}
+	e.multi[name] = append(e.multi[name], w)
+	st.postpone(slot == 0)
+	e.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	start := time.Now()
+	select {
+	case mm := <-w.ch:
+		st.addWait(time.Since(start))
+		return e.runChainStage(mm.prev, mm.self, action, timeout)
+	case <-w.cancelCh:
+		st.addWait(time.Since(start))
+		if action != nil {
+			action()
+		}
+		return OutcomeTimeout
+	case <-timer.C:
+		e.mu.Lock()
+		if w.state == waiterMatched {
+			e.mu.Unlock()
+			mm := <-w.ch
+			st.addWait(time.Since(start))
+			return e.runChainStage(mm.prev, mm.self, action, timeout)
+		}
+		e.removeMultiWaiter(name, w)
+		w.state = waiterCancelled
+		e.mu.Unlock()
+		st.addWait(time.Since(start))
+		st.timeout(slot == 0)
+		e.logEvent(EventTimeout, name, gid, slot == 0)
+		if action != nil {
+			action()
+		}
+		return OutcomeTimeout
+	}
+}
+
+// runChainStage waits for the previous slot, runs this slot's action,
+// and releases the next slot. Without an action the release happens
+// immediately and the ordering window gives the earlier slots' next
+// instructions time to run first.
+func (e *Engine) runChainStage(prev, self chan struct{}, action func(), timeout time.Duration) Outcome {
+	select {
+	case <-prev:
+	case <-time.After(timeout):
+		// Defensive: an earlier stage stalled; proceed anyway.
+	}
+	defer close(self)
+	if action != nil {
+		action()
+		return OutcomeHit
+	}
+	if e.OrderWindow > 0 {
+		// Plain call sites: yield briefly so earlier slots' next
+		// instructions win the race against this goroutine's.
+		deadline := time.Now().Add(e.OrderWindow)
+		for time.Now().Before(deadline) {
+			yield()
+		}
+	}
+	return OutcomeHit
+}
+
+// findGroup searches the postponed multi-waiters for a full group
+// complement: one participant per slot other than `slot`, all with
+// distinct goroutines and pairwise-satisfied joint predicates (including
+// against the arriving trigger). It returns nil if no complete group
+// exists. Slots are filled by backtracking over the (small) candidate
+// lists, preferring older waiters.
+func (e *Engine) findGroup(name string, t Trigger, slot, arity int, gid uint64) []*mwaiter {
+	// Candidates per missing slot.
+	cands := make(map[int][]*mwaiter)
+	for _, w := range e.multi[name] {
+		if w.state != waiterWaiting || w.arity != arity || w.slot == slot || w.gid == gid {
+			continue
+		}
+		if !t.PredicateGlobal(w.t) || !w.t.PredicateGlobal(t) {
+			continue
+		}
+		cands[w.slot] = append(cands[w.slot], w)
+	}
+	need := make([]int, 0, arity-1)
+	for s := 0; s < arity; s++ {
+		if s == slot {
+			continue
+		}
+		if len(cands[s]) == 0 {
+			return nil
+		}
+		need = append(need, s)
+	}
+	chosen := make([]*mwaiter, 0, arity-1)
+	var pick func(i int) bool
+	pick = func(i int) bool {
+		if i == len(need) {
+			return true
+		}
+		for _, w := range cands[need[i]] {
+			ok := true
+			for _, c := range chosen {
+				if c.gid == w.gid || !c.t.PredicateGlobal(w.t) || !w.t.PredicateGlobal(c.t) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			chosen = append(chosen, w)
+			if pick(i + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	if !pick(0) {
+		return nil
+	}
+	return chosen
+}
+
+func (e *Engine) removeMultiWaiter(name string, w *mwaiter) {
+	ws := e.multi[name]
+	for i, x := range ws {
+		if x == w {
+			ws[i] = ws[len(ws)-1]
+			e.multi[name] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// MultiPostponedCount returns the number of goroutines postponed on the
+// named multi-way breakpoint.
+func (e *Engine) MultiPostponedCount(name string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.multi[name])
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// BPStats accumulates per-breakpoint counters. All fields are updated
+// atomically; a BPStats value is shared by every Trigger instance with
+// the same name on one engine.
+type BPStats struct {
+	name string
+
+	arrivals      [2]atomic.Int64 // by side: [0]=second-action, [1]=first-action
+	localFalses   [2]atomic.Int64
+	postpones     [2]atomic.Int64
+	timeouts      [2]atomic.Int64
+	hits          atomic.Int64
+	waitNanos     atomic.Int64 // total time spent postponed
+	maxWaitNanos  atomic.Int64
+	lastHitUnixNs atomic.Int64
+}
+
+func sideIndex(first bool) int {
+	if first {
+		return 1
+	}
+	return 0
+}
+
+func (s *BPStats) arrived(first bool)    { s.arrivals[sideIndex(first)].Add(1) }
+func (s *BPStats) localFalse(first bool) { s.localFalses[sideIndex(first)].Add(1) }
+func (s *BPStats) postpone(first bool)   { s.postpones[sideIndex(first)].Add(1) }
+func (s *BPStats) timeout(first bool)    { s.timeouts[sideIndex(first)].Add(1) }
+func (s *BPStats) hit() {
+	s.hits.Add(1)
+	s.lastHitUnixNs.Store(time.Now().UnixNano())
+}
+
+func (s *BPStats) addWait(d time.Duration) {
+	n := int64(d)
+	s.waitNanos.Add(n)
+	for {
+		cur := s.maxWaitNanos.Load()
+		if n <= cur || s.maxWaitNanos.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func (s *BPStats) sideArrivals(first bool) int64 { return s.arrivals[sideIndex(first)].Load() }
+
+// Name returns the breakpoint name these statistics belong to.
+func (s *BPStats) Name() string { return s.name }
+
+// Hits returns how many times the breakpoint has been hit.
+func (s *BPStats) Hits() int64 { return s.hits.Load() }
+
+// Arrivals returns the total number of TriggerHere calls on both sides.
+func (s *BPStats) Arrivals() int64 { return s.arrivals[0].Load() + s.arrivals[1].Load() }
+
+// Timeouts returns how many postponements expired without a partner.
+func (s *BPStats) Timeouts() int64 { return s.timeouts[0].Load() + s.timeouts[1].Load() }
+
+// Postpones returns how many arrivals were postponed.
+func (s *BPStats) Postpones() int64 { return s.postpones[0].Load() + s.postpones[1].Load() }
+
+// LocalFalses returns how many arrivals failed the local predicate.
+func (s *BPStats) LocalFalses() int64 { return s.localFalses[0].Load() + s.localFalses[1].Load() }
+
+// TotalWait returns the cumulative time goroutines spent postponed on
+// this breakpoint; this is the breakpoint's contribution to runtime
+// overhead (section 6.2 of the paper).
+func (s *BPStats) TotalWait() time.Duration { return time.Duration(s.waitNanos.Load()) }
+
+// MaxWait returns the longest single postponement.
+func (s *BPStats) MaxWait() time.Duration { return time.Duration(s.maxWaitNanos.Load()) }
+
+func (s *BPStats) String() string {
+	return fmt.Sprintf("%s: arrivals=%d localFalse=%d postponed=%d timeouts=%d hits=%d wait=%s",
+		s.name, s.Arrivals(), s.LocalFalses(), s.Postpones(), s.Timeouts(), s.Hits(), s.TotalWait())
+}
+
+func (e *Engine) statsFor(name string) *BPStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.stats[name]
+	if !ok {
+		st = &BPStats{name: name}
+		e.stats[name] = st
+	}
+	return st
+}
+
+// Stats returns the statistics for the named breakpoint, creating an
+// empty record if the breakpoint has never been reached.
+func (e *Engine) Stats(name string) *BPStats { return e.statsFor(name) }
+
+// AllStats returns statistics for every breakpoint seen by the engine,
+// sorted by name.
+func (e *Engine) AllStats() []*BPStats {
+	e.mu.Lock()
+	out := make([]*BPStats, 0, len(e.stats))
+	for _, st := range e.stats {
+		out = append(out, st)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Report formats all breakpoint statistics as a multi-line string.
+func (e *Engine) Report() string {
+	var b strings.Builder
+	for _, st := range e.AllStats() {
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

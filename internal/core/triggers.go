@@ -1,0 +1,164 @@
+package core
+
+// This file provides the breakpoint classes of section 4 of the paper:
+// ConflictTrigger (data races and other same-object conflicts),
+// DeadlockTrigger (lock-order deadlocks), AtomicityTrigger (atomicity
+// violations), NotifyTrigger (missed notifications on a condition
+// object), and the fully generic PredTrigger.
+
+// ConflictTrigger represents one side of a breakpoint of the form
+// (l1, l2, t1.obj == t2.obj): two threads about to touch the same object
+// (typically a data race, where at least one access is a write). It is
+// the Go analog of the paper's ConflictTrigger class (Figure 6).
+type ConflictTrigger struct {
+	name string
+	// Obj is the object this side is about to access. Objects are
+	// compared by interface identity, so pass pointers.
+	Obj any
+}
+
+// NewConflictTrigger returns a conflict trigger for the named breakpoint
+// guarding an access to obj.
+func NewConflictTrigger(name string, obj any) *ConflictTrigger {
+	return &ConflictTrigger{name: name, Obj: obj}
+}
+
+// Name implements Trigger.
+func (c *ConflictTrigger) Name() string { return c.name }
+
+// PredicateLocal implements Trigger; a plain conflict has no local
+// condition beyond reaching the location.
+func (c *ConflictTrigger) PredicateLocal() bool { return true }
+
+// PredicateGlobal implements Trigger: both sides must reference the same
+// object.
+func (c *ConflictTrigger) PredicateGlobal(other Trigger) bool {
+	o, ok := other.(*ConflictTrigger)
+	return ok && o.name == c.name && o.Obj == c.Obj
+}
+
+// DeadlockTrigger represents one side of a deadlock breakpoint: the
+// thread holds Held and is about to acquire Want. The joint predicate is
+// the classic cycle condition t1.held == t2.want && t1.want == t2.held
+// (Figure 8 of the paper, where lok1 is the held lock and lok2 the one
+// about to be acquired).
+type DeadlockTrigger struct {
+	name string
+	// Held is the lock this side already holds.
+	Held any
+	// Want is the lock this side is about to acquire.
+	Want any
+}
+
+// NewDeadlockTrigger returns a deadlock trigger for the named breakpoint,
+// for a thread holding held and about to acquire want.
+func NewDeadlockTrigger(name string, held, want any) *DeadlockTrigger {
+	return &DeadlockTrigger{name: name, Held: held, Want: want}
+}
+
+// Name implements Trigger.
+func (d *DeadlockTrigger) Name() string { return d.name }
+
+// PredicateLocal implements Trigger.
+func (d *DeadlockTrigger) PredicateLocal() bool { return true }
+
+// PredicateGlobal implements Trigger: the two sides' held/want pairs must
+// cross, which is exactly a two-lock deadlock state.
+func (d *DeadlockTrigger) PredicateGlobal(other Trigger) bool {
+	o, ok := other.(*DeadlockTrigger)
+	return ok && o.name == d.name && d.Held == o.Want && d.Want == o.Held
+}
+
+// AtomicityTrigger represents one side of an atomicity-violation
+// breakpoint: one thread is inside a block that should be atomic over
+// object Obj while the other is about to interleave an operation on the
+// same object (the StringBuffer example of Figure 3, where t1.sb ==
+// t2.this).
+type AtomicityTrigger struct {
+	name string
+	// Obj is the object whose atomic block is being violated.
+	Obj any
+}
+
+// NewAtomicityTrigger returns an atomicity trigger for the named
+// breakpoint over obj.
+func NewAtomicityTrigger(name string, obj any) *AtomicityTrigger {
+	return &AtomicityTrigger{name: name, Obj: obj}
+}
+
+// Name implements Trigger.
+func (a *AtomicityTrigger) Name() string { return a.name }
+
+// PredicateLocal implements Trigger.
+func (a *AtomicityTrigger) PredicateLocal() bool { return true }
+
+// PredicateGlobal implements Trigger.
+func (a *AtomicityTrigger) PredicateGlobal(other Trigger) bool {
+	o, ok := other.(*AtomicityTrigger)
+	return ok && o.name == a.name && o.Obj == a.Obj
+}
+
+// NotifyTrigger represents one side of a missed-notification breakpoint:
+// one thread is about to notify a condition object while another is about
+// to (but has not yet begun to) wait on it. Ordering the notify before
+// the wait makes the notification miss, reproducing lost-wakeup stalls
+// (the log4j/pool/jigsaw bugs of the paper's evaluation).
+type NotifyTrigger struct {
+	name string
+	// Cond is the condition/monitor object being notified or awaited.
+	Cond any
+}
+
+// NewNotifyTrigger returns a missed-notification trigger for the named
+// breakpoint over the condition object cond.
+func NewNotifyTrigger(name string, cond any) *NotifyTrigger {
+	return &NotifyTrigger{name: name, Cond: cond}
+}
+
+// Name implements Trigger.
+func (n *NotifyTrigger) Name() string { return n.name }
+
+// PredicateLocal implements Trigger.
+func (n *NotifyTrigger) PredicateLocal() bool { return true }
+
+// PredicateGlobal implements Trigger.
+func (n *NotifyTrigger) PredicateGlobal(other Trigger) bool {
+	o, ok := other.(*NotifyTrigger)
+	return ok && o.name == n.name && o.Cond == n.Cond
+}
+
+// PredTrigger is a fully generic breakpoint side built from closures. It
+// subsumes the other trigger classes and supports arbitrary phi_ti and
+// phi_t1t2 predicates over captured local state.
+type PredTrigger struct {
+	name string
+	// State carries arbitrary local state for the Global predicate of
+	// the partner side to inspect.
+	State any
+	// Local is phi_ti; nil means true.
+	Local func() bool
+	// Global is phi_t1t2, evaluated against the partner; nil means the
+	// partner only has to share the breakpoint name.
+	Global func(other *PredTrigger) bool
+}
+
+// NewPredTrigger returns a generic trigger with the given local state and
+// predicates.
+func NewPredTrigger(name string, state any, local func() bool, global func(other *PredTrigger) bool) *PredTrigger {
+	return &PredTrigger{name: name, State: state, Local: local, Global: global}
+}
+
+// Name implements Trigger.
+func (p *PredTrigger) Name() string { return p.name }
+
+// PredicateLocal implements Trigger.
+func (p *PredTrigger) PredicateLocal() bool { return p.Local == nil || p.Local() }
+
+// PredicateGlobal implements Trigger.
+func (p *PredTrigger) PredicateGlobal(other Trigger) bool {
+	o, ok := other.(*PredTrigger)
+	if !ok || o.name != p.name {
+		return false
+	}
+	return p.Global == nil || p.Global(o)
+}

@@ -1,0 +1,155 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+)
+
+func TestAtomicityViolationDetected(t *testing.T) {
+	d := New(WithEraser(false), WithHappensBefore(false))
+	sp := memory.NewSpace()
+	d.Instrument(sp)
+	c := memory.NewCell(sp, "sb.len", 8)
+	w := newWorkers(2)
+	defer w.stop()
+
+	// Worker 0 runs the "append" block: read length, (interference),
+	// read again — the StringBuffer stale-length pattern.
+	w.run(0, func() { d.BeginAtomic("StringBuffer.append") })
+	w.run(0, func() { c.Load("append:444") })
+	w.run(1, func() { c.Store("setLength:239", 0) }) // interferer
+	w.run(0, func() { c.Load("append:449") })        // unserializable
+	w.run(0, func() { d.EndAtomic() })
+
+	got := d.ReportsOf(KindAtomicity)
+	if len(got) != 1 {
+		t.Fatalf("atomicity reports = %d\n%s", len(got), d.FormatAll())
+	}
+	r := got[0]
+	if r.Site1 != "setLength:239" || r.Site2 != "append:449" || r.Held1 != "StringBuffer.append" {
+		t.Fatalf("report = %+v", r)
+	}
+	if !strings.Contains(r.Format(), "Atomicity violation detected") {
+		t.Fatalf("format: %s", r.Format())
+	}
+}
+
+func TestAtomicitySerialExecutionClean(t *testing.T) {
+	d := New(WithEraser(false), WithHappensBefore(false))
+	sp := memory.NewSpace()
+	d.Instrument(sp)
+	c := memory.NewCell(sp, "x", 0)
+	w := newWorkers(2)
+	defer w.stop()
+
+	// Interference before or after the block, but not between two block
+	// accesses: serializable, no report.
+	w.run(1, func() { c.Store("before", 1) })
+	w.run(0, func() { d.BeginAtomic("blk") })
+	w.run(0, func() { c.Load("in1") })
+	w.run(0, func() { c.Load("in2") })
+	w.run(0, func() { d.EndAtomic() })
+	w.run(1, func() { c.Store("after", 2) })
+
+	if got := d.ReportsOf(KindAtomicity); len(got) != 0 {
+		t.Fatalf("false positive: %s", d.FormatAll())
+	}
+}
+
+func TestAtomicityReadReadNotConflicting(t *testing.T) {
+	d := New(WithEraser(false), WithHappensBefore(false))
+	sp := memory.NewSpace()
+	d.Instrument(sp)
+	c := memory.NewCell(sp, "x", 0)
+	w := newWorkers(2)
+	defer w.stop()
+
+	// Reads interleaving reads are serializable.
+	w.run(0, func() { d.BeginAtomic("blk") })
+	w.run(0, func() { c.Load("in1") })
+	w.run(1, func() { c.Load("other-read") })
+	w.run(0, func() { c.Load("in2") })
+	w.run(0, func() { d.EndAtomic() })
+
+	if got := d.ReportsOf(KindAtomicity); len(got) != 0 {
+		t.Fatalf("read-read flagged: %s", d.FormatAll())
+	}
+}
+
+func TestAtomicityWriteInBlockReadOutside(t *testing.T) {
+	d := New(WithEraser(false), WithHappensBefore(false))
+	sp := memory.NewSpace()
+	d.Instrument(sp)
+	c := memory.NewCell(sp, "x", 0)
+	w := newWorkers(2)
+	defer w.stop()
+
+	// Block writes, other goroutine reads, block writes again: the
+	// intermediate read observed a half-done state — unserializable.
+	w.run(0, func() { d.BeginAtomic("blk") })
+	w.run(0, func() { c.Store("w1", 1) })
+	w.run(1, func() { c.Load("peek") })
+	w.run(0, func() { c.Store("w2", 2) })
+	w.run(0, func() { d.EndAtomic() })
+
+	if got := d.ReportsOf(KindAtomicity); len(got) != 1 {
+		t.Fatalf("reports = %d\n%s", len(got), d.FormatAll())
+	}
+}
+
+func TestEndAtomicStopsTracking(t *testing.T) {
+	d := New(WithEraser(false), WithHappensBefore(false))
+	sp := memory.NewSpace()
+	d.Instrument(sp)
+	c := memory.NewCell(sp, "x", 0)
+	w := newWorkers(2)
+	defer w.stop()
+
+	w.run(0, func() { d.BeginAtomic("blk") })
+	w.run(0, func() { c.Load("in") })
+	w.run(0, func() { d.EndAtomic() })
+	w.run(1, func() { c.Store("later", 1) })
+	w.run(0, func() { c.Load("outside") })
+
+	if got := d.ReportsOf(KindAtomicity); len(got) != 0 {
+		t.Fatalf("closed block still tracked: %s", d.FormatAll())
+	}
+}
+
+func TestThreeLockCycleDetected(t *testing.T) {
+	d := New()
+	a := locks.NewMutex("A")
+	b := locks.NewMutex("B")
+	c := locks.NewMutex("C")
+	for _, m := range []*locks.Mutex{a, b, c} {
+		m.Observe(d)
+	}
+	w := newWorkers(3)
+	defer w.stop()
+	// A->B, B->C, C->A: a three-lock cycle with no two-lock reversal.
+	w.run(0, func() { a.LockAt("t0:a"); b.LockAt("t0:b"); b.Unlock(); a.Unlock() })
+	w.run(1, func() { b.LockAt("t1:b"); c.LockAt("t1:c"); c.Unlock(); b.Unlock() })
+	w.run(2, func() { c.LockAt("t2:c"); a.LockAt("t2:a"); a.Unlock(); c.Unlock() })
+
+	var chained []Report
+	for _, r := range d.ReportsOf(KindLockOrder) {
+		if len(r.Chain) > 0 {
+			chained = append(chained, r)
+		}
+	}
+	if len(chained) == 0 {
+		t.Fatalf("three-lock cycle not detected:\n%s", d.FormatAll())
+	}
+	if !strings.Contains(chained[0].Format(), "lock-order cycle") {
+		t.Fatalf("format: %s", chained[0].Format())
+	}
+}
+
+func TestAtomicityKindString(t *testing.T) {
+	if KindAtomicity.String() != "atomicity violation" {
+		t.Fatal("kind label wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package detect
+
+import (
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+)
+
+// eraser implements the lockset algorithm of Savage et al. (Eraser,
+// 1997), the detector the paper's Methodology II names for enumerating
+// potential conflict states.
+//
+// Each shared variable v carries a candidate set C(v) of locks. On every
+// access by thread t, C(v) is intersected with the set of locks t holds;
+// if C(v) becomes empty while v is in a write-shared state, the accesses
+// are not consistently protected and a race is reported.
+//
+// The standard state machine limits false positives from initialization
+// and read-sharing:
+//
+//	virgin -> exclusive (first access, owned by one thread)
+//	exclusive -> shared (read by a second thread)
+//	exclusive|shared -> sharedModified (write by a second thread)
+//
+// Lockset refinement starts when the variable leaves exclusive; races
+// are only reported in sharedModified.
+type eraser struct {
+	held  map[uint64]map[*locks.Mutex]struct{} // gid -> held locks
+	state map[*memory.Cell]*eraserVar
+}
+
+type eraserState int
+
+const (
+	virgin eraserState = iota
+	exclusive
+	shared
+	sharedModified
+)
+
+type eraserVar struct {
+	st        eraserState
+	owner     uint64
+	cset      map[*locks.Mutex]struct{} // candidate lockset C(v)
+	firstSite string
+	reported  bool
+}
+
+func newEraser() *eraser {
+	return &eraser{
+		held:  make(map[uint64]map[*locks.Mutex]struct{}),
+		state: make(map[*memory.Cell]*eraserVar),
+	}
+}
+
+func (e *eraser) lockAcquired(gid uint64, m *locks.Mutex) {
+	s, ok := e.held[gid]
+	if !ok {
+		s = make(map[*locks.Mutex]struct{})
+		e.held[gid] = s
+	}
+	s[m] = struct{}{}
+}
+
+func (e *eraser) lockReleased(gid uint64, m *locks.Mutex) {
+	if s, ok := e.held[gid]; ok {
+		delete(s, m)
+		if len(s) == 0 {
+			delete(e.held, gid)
+		}
+	}
+}
+
+func (e *eraser) heldSet(gid uint64) map[*locks.Mutex]struct{} { return e.held[gid] }
+
+// access runs the state machine for one access and returns any new race
+// reports.
+func (e *eraser) access(gid uint64, c *memory.Cell, op memory.Op, site string) []Report {
+	v, ok := e.state[c]
+	if !ok {
+		v = &eraserVar{st: virgin}
+		e.state[c] = v
+	}
+	switch v.st {
+	case virgin:
+		v.st = exclusive
+		v.owner = gid
+		v.firstSite = site
+		return nil
+	case exclusive:
+		if gid == v.owner {
+			v.firstSite = site
+			return nil
+		}
+		// Second thread: initialize C(v) to current holder's locks and
+		// move to shared / sharedModified.
+		v.cset = intersect(nil, e.heldSet(gid))
+		if op == memory.Write {
+			v.st = sharedModified
+		} else {
+			v.st = shared
+		}
+	case shared:
+		v.cset = intersect(v.cset, e.heldSet(gid))
+		if op == memory.Write {
+			v.st = sharedModified
+		}
+	case sharedModified:
+		v.cset = intersect(v.cset, e.heldSet(gid))
+	}
+	if v.st == sharedModified && len(v.cset) == 0 && !v.reported {
+		v.reported = true
+		return []Report{{
+			Kind:  KindRace,
+			Var:   c.Name(),
+			Site1: v.firstSite,
+			Site2: site,
+		}}
+	}
+	// Remember the latest access site for more precise pairing.
+	v.firstSite = site
+	return nil
+}
+
+// intersect returns a∩b, treating nil a as "unconstrained" (first
+// refinement) and nil b as the empty set.
+func intersect(a, b map[*locks.Mutex]struct{}) map[*locks.Mutex]struct{} {
+	out := make(map[*locks.Mutex]struct{})
+	if a == nil {
+		for m := range b {
+			out[m] = struct{}{}
+		}
+		return out
+	}
+	for m := range a {
+		if _, ok := b[m]; ok {
+			out[m] = struct{}{}
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package detect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+)
+
+// TestEraserStateMachineDirect drives the lockset algorithm directly
+// through its states.
+func TestEraserStateMachineDirect(t *testing.T) {
+	e := newEraser()
+	c := memory.NewCell(nil, "v", 0)
+	l := locks.NewMutex("l")
+
+	// virgin -> exclusive: first access never reports.
+	if rs := e.access(1, c, memory.Write, "s1"); len(rs) != 0 {
+		t.Fatal("first access reported")
+	}
+	if e.state[c].st != exclusive {
+		t.Fatalf("state = %v, want exclusive", e.state[c].st)
+	}
+	// Same-owner accesses stay exclusive.
+	e.access(1, c, memory.Read, "s2")
+	if e.state[c].st != exclusive {
+		t.Fatal("same-owner access left exclusive")
+	}
+	// Second thread reading under the lock moves to shared with
+	// C(v) = {l}; no report.
+	e.lockAcquired(2, l)
+	if rs := e.access(2, c, memory.Read, "s3"); len(rs) != 0 {
+		t.Fatal("read-share reported")
+	}
+	if e.state[c].st != shared {
+		t.Fatalf("state = %v, want shared", e.state[c].st)
+	}
+	// Writing while still holding the lock: sharedModified but C(v)
+	// stays {l} — still no report.
+	if rs := e.access(2, c, memory.Write, "s4"); len(rs) != 0 {
+		t.Fatal("locked write reported")
+	}
+	if e.state[c].st != sharedModified {
+		t.Fatalf("state = %v, want sharedModified", e.state[c].st)
+	}
+	// Thread 3 writing without the lock empties C(v): report.
+	e.lockReleased(2, l)
+	if rs := e.access(3, c, memory.Write, "s5"); len(rs) != 1 {
+		t.Fatalf("unlocked write reports = %d, want 1", len(rs))
+	}
+	// Only one report per variable.
+	if rs := e.access(1, c, memory.Write, "s6"); len(rs) != 0 {
+		t.Fatal("second report for same variable")
+	}
+}
+
+// Property: the lockset C(v) only ever shrinks once refinement starts.
+func TestLocksetMonotoneShrinkProperty(t *testing.T) {
+	lockPool := []*locks.Mutex{locks.NewMutex("a"), locks.NewMutex("b"), locks.NewMutex("c")}
+	f := func(ops []uint8) bool {
+		e := newEraser()
+		c := memory.NewCell(nil, "p", 0)
+		e.access(1, c, memory.Write, "init") // exclusive by thread 1
+		prevSize := -1
+		for _, op := range ops {
+			gid := uint64(2 + op%2) // threads 2 and 3
+			// Hold a pseudo-random subset of locks.
+			var held []*locks.Mutex
+			for j, l := range lockPool {
+				if op&(1<<uint(j+2)) != 0 {
+					held = append(held, l)
+					e.lockAcquired(gid, l)
+				}
+			}
+			kind := memory.Read
+			if op&2 != 0 {
+				kind = memory.Write
+			}
+			e.access(gid, c, kind, "s")
+			v := e.state[c]
+			if v.cset != nil {
+				if prevSize >= 0 && len(v.cset) > prevSize {
+					return false // lockset grew
+				}
+				prevSize = len(v.cset)
+			}
+			for _, l := range held {
+				e.lockReleased(gid, l)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a variable only ever accessed by one goroutine never
+// reports, whatever the access mix.
+func TestSingleThreadNeverReportsProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		e := newEraser()
+		c := memory.NewCell(nil, "solo", 0)
+		for _, w := range ops {
+			kind := memory.Read
+			if w {
+				kind = memory.Write
+			}
+			if rs := e.access(7, c, kind, "s"); len(rs) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

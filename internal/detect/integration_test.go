@@ -1,0 +1,143 @@
+package detect
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cbreak/internal/core"
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+)
+
+// TestMethodologyIEndToEnd closes the paper's full Methodology I loop in
+// one test: (1) run a buggy scenario under the detector and get the
+// CalFuzzer-style race report; (2) insert a concurrent breakpoint at the
+// two reported sites; (3) verify the bug now reproduces deterministically.
+func TestMethodologyIEndToEnd(t *testing.T) {
+	type account struct{ balance *memory.Cell }
+
+	buildScenario := func(sp *memory.Space, engine *core.Engine, bp bool) (run func(), doubleSpent func() bool) {
+		acct := &account{balance: memory.NewCell(sp, "acct.balance", 100)}
+		var ok1, ok2 bool
+		run = func() {
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { // withdraw: check-then-act
+				defer wg.Done()
+				bal := acct.balance.Load("bank.go:17")
+				if bal < 80 {
+					return
+				}
+				if bp {
+					engine.TriggerHere(core.NewConflictTrigger("bank", acct.balance), false,
+						core.Options{Timeout: 300 * time.Millisecond})
+				}
+				acct.balance.Store("bank.go:19", bal-80)
+				ok1 = true
+			}()
+			go func() { // concurrent spend, naturally later
+				defer wg.Done()
+				time.Sleep(time.Millisecond)
+				bal := acct.balance.Load("bank.go:28")
+				if bal < 80 {
+					return
+				}
+				store := func() { acct.balance.Store("bank.go:30", bal-80); ok2 = true }
+				if bp {
+					engine.TriggerHereAnd(core.NewConflictTrigger("bank", acct.balance), true,
+						core.Options{Timeout: 300 * time.Millisecond}, store)
+				} else {
+					store()
+				}
+			}()
+			wg.Wait()
+		}
+		doubleSpent = func() bool { return ok1 && ok2 }
+		return run, doubleSpent
+	}
+
+	// Step 1: detect.
+	sp := memory.NewSpace()
+	d := New()
+	sp.Trace(d)
+	offEngine := core.NewEngine()
+	offEngine.SetEnabled(false)
+	run, _ := buildScenario(sp, offEngine, false)
+	run()
+	sp.Trace(nil)
+	races := d.ReportsOf(KindRace)
+	if len(races) == 0 {
+		t.Fatal("step 1: detector found no race")
+	}
+	found := false
+	for _, r := range races {
+		if r.Var == "acct.balance" && strings.Contains(r.Format(), "bank.go:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("step 1: wrong report(s):\n%s", d.FormatAll())
+	}
+
+	// Steps 2-3: the breakpoint at the reported sites reproduces the
+	// double-spend every time.
+	engine := core.NewEngine()
+	for i := 0; i < 5; i++ {
+		engine.Reset()
+		run, doubleSpent := buildScenario(nil, engine, true)
+		run()
+		if !doubleSpent() {
+			t.Fatalf("step 3: run %d did not reproduce the double-spend", i)
+		}
+	}
+}
+
+// TestMethodologyIIEndToEnd runs the lost-notification loop: detect the
+// candidate, force the notify-first order, observe the stall.
+func TestMethodologyIIEndToEnd(t *testing.T) {
+	// Step 1-2: the candidate report.
+	d := New()
+	mon := locks.NewMutex("mon")
+	cv := locks.NewCond("available", mon)
+	d.InstrumentConds(cv)
+	cv.NotifyAt("pool.go:return")
+	mon.Lock()
+	cv.WaitTimeoutAt(5*time.Millisecond, "pool.go:borrow")
+	mon.Unlock()
+	if len(d.ReportsOf(KindLostNotify)) == 0 {
+		t.Fatal("no lost-notification candidate detected")
+	}
+
+	// Step 3: force notify-before-wait with a breakpoint; the waiter
+	// must miss the wakeup (timeout) every time.
+	engine := core.NewEngine()
+	for i := 0; i < 3; i++ {
+		engine.Reset()
+		m2 := locks.NewMutex("mon2")
+		cv2 := locks.NewCond("available2", m2)
+		missed := make(chan bool, 1)
+		go func() { // waiter: test, window, wait
+			engine.TriggerHere(core.NewNotifyTrigger("lost", cv2), false,
+				core.Options{Timeout: time.Second})
+			m2.Lock()
+			got := cv2.WaitTimeout(50 * time.Millisecond)
+			m2.Unlock()
+			missed <- !got
+		}()
+		go func() { // notifier, ordered first
+			time.Sleep(time.Millisecond)
+			engine.TriggerHereAnd(core.NewNotifyTrigger("lost", cv2), true,
+				core.Options{Timeout: time.Second}, cv2.Notify)
+		}()
+		select {
+		case m := <-missed:
+			if !m {
+				t.Fatalf("run %d: notification was delivered despite the forced order", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never returned")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package detect
+
+import (
+	"cbreak/internal/locks"
+)
+
+// This file extends the conflict detector to "contentions over
+// synchronization objects" in the missed-notification sense: the paper's
+// Methodology II relies on a detector that can surface the wait/notify
+// conflicts behind stalls like log4j's, pool's, and Jigsaw's.
+//
+// A lost-notification candidate is a Notify that found no waiter on a
+// condition variable that the program does wait on (before or after).
+// Such a notify is not necessarily a bug — many protocols notify
+// opportunistically — but every missed-notification stall starts with
+// one, so the candidates are exactly what a developer walks through
+// with concurrent breakpoints (section 5).
+
+// condState tracks one observed condition variable.
+type condState struct {
+	waitSites   map[string]struct{}
+	missedSites map[string]struct{} // notify sites that fired with no waiter
+}
+
+// OnWait implements locks.CondObserver.
+func (d *Detector) OnWait(c *locks.Cond, gid uint64, site string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.condStateFor(c)
+	st.waitSites[site] = struct{}{}
+	// A wait after a missed notify on the same condition completes the
+	// lost-wakeup pattern: report each (notifySite, waitSite) pair.
+	for notifySite := range st.missedSites {
+		d.report(Report{
+			Kind:  KindLostNotify,
+			Var:   c.Name(),
+			Site1: notifySite,
+			Site2: site,
+		})
+	}
+}
+
+// OnNotify implements locks.CondObserver.
+func (d *Detector) OnNotify(c *locks.Cond, gid uint64, site string, delivered bool) {
+	if delivered {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.condStateFor(c)
+	st.missedSites[site] = struct{}{}
+	// If the program already waited on this condition, the pattern is
+	// complete in the other order too.
+	for waitSite := range st.waitSites {
+		d.report(Report{
+			Kind:  KindLostNotify,
+			Var:   c.Name(),
+			Site1: site,
+			Site2: waitSite,
+		})
+	}
+}
+
+// condStateFor returns (creating) the state record; caller holds d.mu.
+func (d *Detector) condStateFor(c *locks.Cond) *condState {
+	if d.conds == nil {
+		d.conds = make(map[*locks.Cond]*condState)
+	}
+	st, ok := d.conds[c]
+	if !ok {
+		st = &condState{
+			waitSites:   make(map[string]struct{}),
+			missedSites: make(map[string]struct{}),
+		}
+		d.conds[c] = st
+	}
+	return st
+}
+
+// InstrumentConds attaches the detector to condition variables.
+func (d *Detector) InstrumentConds(cs ...*locks.Cond) {
+	for _, c := range cs {
+		c.Observe(d)
+	}
+}

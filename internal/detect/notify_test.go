@@ -1,0 +1,89 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cbreak/internal/locks"
+)
+
+func TestLostNotifyMissedThenWait(t *testing.T) {
+	d := New()
+	m := locks.NewMutex("mon")
+	c := locks.NewCond("cv", m)
+	d.InstrumentConds(c)
+
+	// Notify with no waiter (lost), then a wait: the classic lost
+	// wakeup pattern, in notification-first order.
+	c.NotifyAt("Pool.java:return")
+	m.Lock()
+	if c.WaitTimeout(10 * time.Millisecond) {
+		t.Fatal("wait should time out (the notification was lost)")
+	}
+	m.Unlock()
+
+	got := d.ReportsOf(KindLostNotify)
+	if len(got) != 1 {
+		t.Fatalf("reports = %d\n%s", len(got), d.FormatAll())
+	}
+	r := got[0]
+	if r.Site1 != "Pool.java:return" || r.Var != "cv" {
+		t.Fatalf("report = %+v", r)
+	}
+	if !strings.Contains(r.Format(), "Lost notification candidate") {
+		t.Fatalf("format: %s", r.Format())
+	}
+}
+
+func TestLostNotifyWaitThenMiss(t *testing.T) {
+	d := New()
+	m := locks.NewMutex("mon2")
+	c := locks.NewCond("cv2", m)
+	d.InstrumentConds(c)
+
+	// A wait that times out, then a missed notify: still a candidate
+	// (the program does wait on this condition).
+	m.Lock()
+	c.WaitTimeout(5 * time.Millisecond)
+	m.Unlock()
+	c.NotifyAt("late-notify")
+
+	got := d.ReportsOf(KindLostNotify)
+	if len(got) != 1 {
+		t.Fatalf("reports = %d\n%s", len(got), d.FormatAll())
+	}
+}
+
+func TestDeliveredNotifyNotReported(t *testing.T) {
+	d := New()
+	m := locks.NewMutex("mon3")
+	c := locks.NewCond("cv3", m)
+	d.InstrumentConds(c)
+
+	woke := make(chan struct{})
+	go func() {
+		m.Lock()
+		c.Wait()
+		m.Unlock()
+		close(woke)
+	}()
+	for c.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.NotifyAt("delivered")
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if got := d.ReportsOf(KindLostNotify); len(got) != 0 {
+		t.Fatalf("delivered notify reported: %s", d.FormatAll())
+	}
+}
+
+func TestLostNotifyKindLabel(t *testing.T) {
+	if KindLostNotify.String() != "lost notification" {
+		t.Fatal("label wrong")
+	}
+}

@@ -1,0 +1,220 @@
+// Package harness runs the paper's experiments: it executes benchmark
+// applications repeatedly, with and without their concurrent
+// breakpoints, and aggregates the measurements the evaluation section
+// reports — reproduction probability, runtime overhead, breakpoint hit
+// rate, and mean time to error (MTTE).
+//
+// The table generators (Table1, Table2, Log4jTable, PauseSweep,
+// PrecisionAblation, ModelTable) produce the same rows/series as the
+// paper's Tables 1 and 2, the section 5 resolve-order table, and the
+// section 6.2/6.3 studies, so `cmd/cbtables` can regenerate each
+// artifact.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+)
+
+// RunFunc executes one application run on the given engine. breakpoint
+// selects whether the app's concurrent breakpoints are inserted; timeout
+// is the pause time T.
+type RunFunc func(e *core.Engine, breakpoint bool, timeout time.Duration) appkit.Result
+
+// Measurement aggregates repeated runs of one configuration.
+type Measurement struct {
+	Runs       int
+	Buggy      int // runs where the bug manifested
+	BPHits     int // runs where a breakpoint was hit
+	Statuses   map[appkit.Status]int
+	MeanTime   time.Duration // mean wall-clock of all runs
+	MedianTime time.Duration
+	// MeanTimeToError is the mean elapsed time of the buggy runs only
+	// (the paper's MTTE).
+	MeanTimeToError time.Duration
+	// MeanBPWait is the mean per-run total time goroutines spent
+	// postponed at breakpoints — the overhead the section 6.3
+	// refinements cut.
+	MeanBPWait time.Duration
+}
+
+// Probability returns the fraction of runs in which the bug manifested.
+func (m Measurement) Probability() float64 {
+	if m.Runs == 0 {
+		return 0
+	}
+	return float64(m.Buggy) / float64(m.Runs)
+}
+
+// HitRate returns the fraction of runs in which a breakpoint was hit.
+func (m Measurement) HitRate() float64 {
+	if m.Runs == 0 {
+		return 0
+	}
+	return float64(m.BPHits) / float64(m.Runs)
+}
+
+// Measure runs fn `runs` times with fresh engines and aggregates.
+func Measure(runs int, breakpoint bool, timeout time.Duration, fn RunFunc) Measurement {
+	m := Measurement{Runs: runs, Statuses: make(map[appkit.Status]int)}
+	var total time.Duration
+	var errTotal time.Duration
+	var waitTotal time.Duration
+	times := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		e := core.NewEngine()
+		if !breakpoint {
+			e.SetEnabled(false)
+		}
+		res := fn(e, breakpoint, timeout)
+		m.Statuses[res.Status]++
+		if res.Status.Buggy() {
+			m.Buggy++
+			errTotal += res.Elapsed
+		}
+		if res.BPHit {
+			m.BPHits++
+		}
+		for _, st := range e.AllStats() {
+			waitTotal += st.TotalWait()
+		}
+		total += res.Elapsed
+		times = append(times, res.Elapsed)
+	}
+	m.MeanTime = total / time.Duration(runs)
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	m.MedianTime = times[runs/2]
+	if m.Buggy > 0 {
+		m.MeanTimeToError = errTotal / time.Duration(m.Buggy)
+	}
+	m.MeanBPWait = waitTotal / time.Duration(runs)
+	return m
+}
+
+// DominantError returns the most frequent buggy status label, or "".
+func (m Measurement) DominantError() string {
+	best, bestN := "", 0
+	for s, n := range m.Statuses {
+		if s.Buggy() && n > bestN {
+			best, bestN = s.String(), n
+		}
+	}
+	return best
+}
+
+// Overhead returns the percentage runtime increase of with relative to
+// without.
+func Overhead(without, with time.Duration) float64 {
+	if without <= 0 {
+		return 0
+	}
+	return 100 * (float64(with) - float64(without)) / float64(without)
+}
+
+// CountLoC counts non-test Go source lines under dir (recursively); it
+// fills the LoC column of the result tables. Returns 0 when the tree is
+// unreadable (e.g. the binary runs away from the repo).
+func CountLoC(dir string) int {
+	total := 0
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return nil
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		total += strings.Count(string(data), "\n")
+		return nil
+	})
+	return total
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes around cells that
+// need them), for piping table output into analysis tools.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// fmtDur renders a duration in seconds with millisecond precision.
+func fmtDur(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// fmtPct renders a percentage.
+func fmtPct(p float64) string { return fmt.Sprintf("%.0f%%", p) }
+
+// fmtProb renders a probability like the paper (two decimals).
+func fmtProb(p float64) string { return fmt.Sprintf("%.2f", p) }

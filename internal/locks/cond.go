@@ -1,0 +1,189 @@
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+// Cond is a condition variable associated with a Mutex, mirroring Java's
+// wait/notify/notifyAll on a monitor. It exists (rather than using
+// sync.Cond directly) so that:
+//
+//   - waits can carry a timeout, which the stall-detection harness and
+//     the missed-notification benchmarks need, and
+//   - Wait/Notify transitions keep the held-lock registry consistent and
+//     are observable by detectors.
+//
+// The usual protocol applies: the caller must hold L around Wait and
+// around the state change preceding Notify.
+type Cond struct {
+	// L is the monitor lock guarding the condition.
+	L *Mutex
+
+	mu      sync.Mutex // guards waiters
+	waiters []chan struct{}
+	name    string
+
+	// notifies and misses count signals delivered to a waiter vs
+	// dropped on the floor (no waiter present). A missed notification
+	// bug manifests as a notify with no waiter followed by a wait that
+	// never returns; the counters let tests assert the mechanism.
+	notifies int
+	misses   int
+
+	// observers receive wait/notify transitions; the lost-notification
+	// detector hooks in here.
+	observers []CondObserver
+}
+
+// CondObserver receives condition-variable events. OnWait fires when a
+// goroutine registers to wait; OnNotify fires for every notification
+// with delivered=false when it found no waiter (a lost notification
+// candidate). site is the label passed to the *At variants, or "".
+type CondObserver interface {
+	OnWait(c *Cond, gid uint64, site string)
+	OnNotify(c *Cond, gid uint64, site string, delivered bool)
+}
+
+// Observe registers an observer for this condition's transitions.
+func (c *Cond) Observe(o CondObserver) {
+	c.mu.Lock()
+	c.observers = append(c.observers, o)
+	c.mu.Unlock()
+}
+
+// snapshotObs copies the observer list; c.mu must not be held.
+func (c *Cond) snapshotObs() []CondObserver {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.observers) == 0 {
+		return nil
+	}
+	out := make([]CondObserver, len(c.observers))
+	copy(out, c.observers)
+	return out
+}
+
+// NewCond returns a condition variable named name on monitor l.
+func NewCond(name string, l *Mutex) *Cond { return &Cond{L: l, name: name} }
+
+// Name returns the condition's name.
+func (c *Cond) Name() string { return c.name }
+
+// Wait atomically releases c.L and suspends the goroutine until another
+// goroutine calls Notify or NotifyAll, then re-acquires c.L. Unlike
+// sync.Cond, a notification is consumed by exactly one waiting goroutine
+// per Notify.
+func (c *Cond) Wait() { c.wait(0, "") }
+
+// WaitAt is Wait tagged with a source-site label for observers.
+func (c *Cond) WaitAt(site string) { c.wait(0, site) }
+
+// WaitTimeout is Wait with an upper bound; it reports false if the
+// timeout expired before a notification arrived. A zero or negative
+// timeout waits forever.
+func (c *Cond) WaitTimeout(d time.Duration) bool { return c.wait(d, "") }
+
+// WaitTimeoutAt is WaitTimeout tagged with a source-site label.
+func (c *Cond) WaitTimeoutAt(d time.Duration, site string) bool { return c.wait(d, site) }
+
+func (c *Cond) wait(d time.Duration, site string) bool {
+	for _, o := range c.snapshotObs() {
+		o.OnWait(c, GoroutineID(), site)
+	}
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	c.waiters = append(c.waiters, ch)
+	c.mu.Unlock()
+
+	c.L.Unlock()
+	ok := true
+	if d > 0 {
+		timer := time.NewTimer(d)
+		select {
+		case <-ch:
+		case <-timer.C:
+			ok = false
+			c.removeWaiter(ch)
+		}
+		timer.Stop()
+	} else {
+		<-ch
+	}
+	c.L.Lock()
+	return ok
+}
+
+func (c *Cond) removeWaiter(ch chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, w := range c.waiters {
+		if w == ch {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Notify wakes one waiting goroutine, if any. If no goroutine is
+// waiting, the notification is lost — exactly the semantics that make
+// missed-notification Heisenbugs possible.
+func (c *Cond) Notify() { c.NotifyAt("") }
+
+// NotifyAt is Notify tagged with a source-site label for observers.
+func (c *Cond) NotifyAt(site string) {
+	c.mu.Lock()
+	delivered := len(c.waiters) > 0
+	if !delivered {
+		c.misses++
+	} else {
+		ch := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.notifies++
+		ch <- struct{}{}
+	}
+	obs := make([]CondObserver, len(c.observers))
+	copy(obs, c.observers)
+	c.mu.Unlock()
+	gid := GoroutineID()
+	for _, o := range obs {
+		o.OnNotify(c, gid, site, delivered)
+	}
+}
+
+// NotifyAll wakes every waiting goroutine.
+func (c *Cond) NotifyAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.waiters) == 0 {
+		c.misses++
+		return
+	}
+	for _, ch := range c.waiters {
+		ch <- struct{}{}
+		c.notifies++
+	}
+	c.waiters = nil
+}
+
+// Waiters returns the number of goroutines currently waiting.
+func (c *Cond) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// Missed returns how many notifications were dropped because no waiter
+// was present.
+func (c *Cond) Missed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Delivered returns how many notifications reached a waiter.
+func (c *Cond) Delivered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.notifies
+}

@@ -1,0 +1,108 @@
+package locks
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file adds *runtime* deadlock detection: while the detect package
+// reports potential lock-order inversions ahead of time, FindDeadlocks
+// inspects the live waits-for graph — which goroutine is blocked on
+// which lock, and who owns it — and returns the actual cycles currently
+// in progress. The experiment harness uses it to distinguish "stalled in
+// a deadlock" from "stalled waiting for a lost notification", the two
+// stall classes of the paper's Table 1.
+
+// waitingFor tracks which Mutex each goroutine is currently blocked on.
+// It lives in the same registry as the held sets.
+func (r *registry) setWaiting(gid uint64, m *Mutex) {
+	r.mu.Lock()
+	if r.waiting == nil {
+		r.waiting = make(map[uint64]*Mutex)
+	}
+	if m == nil {
+		delete(r.waiting, gid)
+	} else {
+		r.waiting[gid] = m
+	}
+	r.mu.Unlock()
+}
+
+// Deadlock describes one cycle in the live waits-for graph.
+type Deadlock struct {
+	// GIDs are the goroutines in the cycle, in cycle order.
+	GIDs []uint64
+	// Locks are the lock names each goroutine is blocked on, aligned
+	// with GIDs.
+	Locks []string
+}
+
+// String renders the cycle.
+func (d Deadlock) String() string {
+	parts := make([]string, len(d.GIDs))
+	for i, g := range d.GIDs {
+		parts[i] = fmt.Sprintf("g%d waits %s", g, d.Locks[i])
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// FindDeadlocks scans the live waits-for graph and returns every cycle:
+// goroutine A blocked on a lock owned by B, B blocked on a lock owned by
+// C, ... back to A. Only instrumented Mutexes participate (an RWMutex's
+// write side reports through its shadow owner).
+func FindDeadlocks() []Deadlock {
+	reg.mu.Lock()
+	waiting := make(map[uint64]*Mutex, len(reg.waiting))
+	for g, m := range reg.waiting {
+		waiting[g] = m
+	}
+	reg.mu.Unlock()
+
+	var out []Deadlock
+	seen := make(map[uint64]bool)
+	// Deterministic iteration for stable output.
+	gids := make([]uint64, 0, len(waiting))
+	for g := range waiting {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+
+	for _, start := range gids {
+		if seen[start] {
+			continue
+		}
+		var pathG []uint64
+		var pathL []string
+		index := make(map[uint64]int)
+		g := start
+		for {
+			m, blocked := waiting[g]
+			if !blocked {
+				break
+			}
+			if at, revisit := index[g]; revisit {
+				// Cycle found: path[at:] is the cycle.
+				d := Deadlock{GIDs: append([]uint64(nil), pathG[at:]...),
+					Locks: append([]string(nil), pathL[at:]...)}
+				out = append(out, d)
+				break
+			}
+			index[g] = len(pathG)
+			pathG = append(pathG, g)
+			pathL = append(pathL, m.Name())
+			owner, _ := m.Owner()
+			if owner == 0 || owner == g {
+				break
+			}
+			g = owner
+		}
+		for _, g := range pathG {
+			seen[g] = true
+		}
+	}
+	return out
+}
+
+// Deadlocked reports whether any live deadlock cycle exists.
+func Deadlocked() bool { return len(FindDeadlocks()) > 0 }

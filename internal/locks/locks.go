@@ -1,0 +1,295 @@
+// Package locks provides identity-bearing synchronization primitives that
+// track, per goroutine, the set of currently held locks. The tracking
+// feeds two consumers:
+//
+//   - breakpoint predicate refinements such as "only trigger when a lock
+//     of class BasicCaret is held" (section 6.3 of the paper), and
+//   - the conflict detectors in internal/detect, which need lock-set and
+//     lock-contention information (Methodology II, section 5).
+//
+// A Mutex here is a plain sync.Mutex plus a name, an optional class, and
+// bookkeeping. The bookkeeping uses the goroutine id, so application code
+// does not have to thread context values through every call.
+package locks
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Class groups locks for class-based predicates (the paper's
+// isLockTypeHeld(type)). Compare classes by pointer identity.
+type Class struct {
+	// Name is a human-readable label, e.g. "BasicCaret".
+	Name string
+}
+
+// NewClass returns a new lock class with the given name.
+func NewClass(name string) *Class { return &Class{Name: name} }
+
+// registry tracks which locks each goroutine currently holds and which
+// lock it is currently blocked on (for live deadlock detection).
+type registry struct {
+	mu      sync.Mutex
+	held    map[uint64][]*Mutex // goroutine id -> stack of held locks
+	waiting map[uint64]*Mutex   // goroutine id -> lock it is blocked on
+}
+
+var reg = &registry{held: make(map[uint64][]*Mutex)}
+
+// Mutex is a named, class-tagged mutual-exclusion lock with held-set
+// tracking. The zero value is not usable; create with NewMutex.
+type Mutex struct {
+	mu    sync.Mutex
+	name  string
+	class *Class
+
+	// owner is the gid currently holding the lock (0 when free) and
+	// ownerSite the site label of its acquisition; both are guarded by
+	// ownMu because they are read by contention detection while another
+	// goroutine holds mu.
+	ownMu     sync.Mutex
+	owner     uint64
+	ownerSite string
+
+	// observers are invoked on every Lock/Unlock transition; the
+	// detectors register themselves here.
+	obsMu     sync.Mutex
+	observers []Observer
+}
+
+// Observer receives lock transition events. BeforeLock fires before the
+// goroutine blocks on acquisition (this is where contention and
+// deadlock-cycle detection hook in); AfterLock and BeforeUnlock fire with
+// the lock held. site is the source label passed to LockAt/UnlockAt, or
+// "" for the untagged variants.
+type Observer interface {
+	BeforeLock(m *Mutex, gid uint64, site string)
+	AfterLock(m *Mutex, gid uint64, site string)
+	BeforeUnlock(m *Mutex, gid uint64, site string)
+}
+
+// NewMutex returns a named mutex with no class.
+func NewMutex(name string) *Mutex { return &Mutex{name: name} }
+
+// NewClassMutex returns a named mutex tagged with a class.
+func NewClassMutex(name string, class *Class) *Mutex {
+	return &Mutex{name: name, class: class}
+}
+
+// Name returns the mutex's name.
+func (m *Mutex) Name() string { return m.name }
+
+// Class returns the mutex's class, or nil.
+func (m *Mutex) Class() *Class { return m.class }
+
+// Observe registers an observer for this mutex's transitions.
+func (m *Mutex) Observe(o Observer) {
+	m.obsMu.Lock()
+	m.observers = append(m.observers, o)
+	m.obsMu.Unlock()
+}
+
+func (m *Mutex) snapshot() []Observer {
+	m.obsMu.Lock()
+	defer m.obsMu.Unlock()
+	if len(m.observers) == 0 {
+		return nil
+	}
+	out := make([]Observer, len(m.observers))
+	copy(out, m.observers)
+	return out
+}
+
+// Lock acquires the mutex, recording it in the goroutine's held set.
+func (m *Mutex) Lock() { m.LockAt("") }
+
+// LockAt is Lock tagged with a source-site label, which detectors use in
+// contention and deadlock reports (the paper's "line 623"-style sites).
+func (m *Mutex) LockAt(site string) {
+	gid := GoroutineID()
+	for _, o := range m.snapshot() {
+		o.BeforeLock(m, gid, site)
+	}
+	reg.setWaiting(gid, m)
+	m.mu.Lock()
+	reg.setWaiting(gid, nil)
+	m.setOwner(gid, site)
+	reg.push(gid, m)
+	for _, o := range m.snapshot() {
+		o.AfterLock(m, gid, site)
+	}
+}
+
+// TryLock tries to acquire the mutex without blocking and reports whether
+// it succeeded.
+func (m *Mutex) TryLock() bool {
+	gid := GoroutineID()
+	if !m.mu.TryLock() {
+		return false
+	}
+	m.setOwner(gid, "")
+	reg.push(gid, m)
+	for _, o := range m.snapshot() {
+		o.AfterLock(m, gid, "")
+	}
+	return true
+}
+
+// Unlock releases the mutex and removes it from the goroutine's held set.
+// Like sync.Mutex, unlocking from a goroutine other than the locker is a
+// programming error; the held-set entry is removed from the unlocking
+// goroutine's set if present.
+func (m *Mutex) Unlock() { m.UnlockAt("") }
+
+// UnlockAt is Unlock tagged with a source-site label.
+func (m *Mutex) UnlockAt(site string) {
+	gid := GoroutineID()
+	for _, o := range m.snapshot() {
+		o.BeforeUnlock(m, gid, site)
+	}
+	m.setOwner(0, "")
+	reg.pop(gid, m)
+	m.mu.Unlock()
+}
+
+// With runs f while holding the mutex; it is the analog of a Java
+// synchronized block.
+func (m *Mutex) With(f func()) { m.WithAt("", f) }
+
+// WithAt is With tagged with a source-site label.
+func (m *Mutex) WithAt(site string, f func()) {
+	m.LockAt(site)
+	defer m.UnlockAt(site)
+	f()
+}
+
+func (m *Mutex) setOwner(gid uint64, site string) {
+	m.ownMu.Lock()
+	m.owner = gid
+	m.ownerSite = site
+	m.ownMu.Unlock()
+}
+
+// Owner returns the gid currently holding the lock (0 if free) and the
+// site label of the owning acquisition.
+func (m *Mutex) Owner() (uint64, string) {
+	m.ownMu.Lock()
+	defer m.ownMu.Unlock()
+	return m.owner, m.ownerSite
+}
+
+func (r *registry) push(gid uint64, m *Mutex) {
+	r.mu.Lock()
+	r.held[gid] = append(r.held[gid], m)
+	r.mu.Unlock()
+}
+
+func (r *registry) pop(gid uint64, m *Mutex) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.held[gid]
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == m {
+			s = append(s[:i], s[i+1:]...)
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(r.held, gid)
+	} else {
+		r.held[gid] = s
+	}
+}
+
+// Held returns the locks currently held by the calling goroutine, in
+// acquisition order.
+func Held() []*Mutex {
+	gid := GoroutineID()
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	s := reg.held[gid]
+	out := make([]*Mutex, len(s))
+	copy(out, s)
+	return out
+}
+
+// HeldBy returns the locks currently held by the goroutine with id gid.
+func HeldBy(gid uint64) []*Mutex {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	s := reg.held[gid]
+	out := make([]*Mutex, len(s))
+	copy(out, s)
+	return out
+}
+
+// IsHeld reports whether the calling goroutine holds m.
+func IsHeld(m *Mutex) bool {
+	for _, h := range Held() {
+		if h == m {
+			return true
+		}
+	}
+	return false
+}
+
+// IsClassHeld reports whether the calling goroutine holds any lock of the
+// given class. It implements the paper's isLockTypeHeld(type) predicate
+// refinement.
+func IsClassHeld(c *Class) bool {
+	for _, h := range Held() {
+		if h.class == c {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassHeldPred returns a closure suitable for core.Options.ExtraLocal
+// that is true while the calling goroutine holds a lock of class c.
+func ClassHeldPred(c *Class) func() bool {
+	return func() bool { return IsClassHeld(c) }
+}
+
+// HeldNames returns the names of the locks held by the calling goroutine,
+// sorted, for diagnostics.
+func HeldNames() []string {
+	hs := Held()
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = h.name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (m *Mutex) String() string {
+	if m.class != nil {
+		return fmt.Sprintf("Mutex(%s:%s)", m.class.Name, m.name)
+	}
+	return fmt.Sprintf("Mutex(%s)", m.name)
+}
+
+// GoroutineID returns the calling goroutine's id (parsed from the runtime
+// stack header). Exported because the detect package keys per-thread
+// state on it.
+func GoroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}

@@ -1,0 +1,202 @@
+package locks
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RWMutex is a named reader-writer lock with the same held-set tracking
+// and observability as Mutex. Reader holds are tracked per goroutine
+// (several goroutines may hold the read side at once); the write side
+// behaves like Mutex. Jigsaw-style servers guard configuration with
+// reader-writer locks, and read-side holds participate in lock-order
+// cycles just like mutexes, so the detectors need them instrumented too.
+type RWMutex struct {
+	mu    sync.RWMutex
+	name  string
+	class *Class
+
+	ownMu     sync.Mutex
+	writer    uint64 // gid holding the write side, 0 if none
+	writeSite string
+	readers   map[uint64]int // gid -> read-hold depth
+
+	obsMu     sync.Mutex
+	observers []Observer
+}
+
+// NewRWMutex returns a named reader-writer lock.
+func NewRWMutex(name string) *RWMutex {
+	return &RWMutex{name: name, readers: make(map[uint64]int)}
+}
+
+// NewClassRWMutex returns a named reader-writer lock tagged with a
+// class.
+func NewClassRWMutex(name string, class *Class) *RWMutex {
+	rw := NewRWMutex(name)
+	rw.class = class
+	return rw
+}
+
+// Name returns the lock's name.
+func (rw *RWMutex) Name() string { return rw.name }
+
+// Class returns the lock's class, or nil.
+func (rw *RWMutex) Class() *Class { return rw.class }
+
+// Observe registers an observer; events carry the lock's shadow Mutex
+// identity (see Shadow).
+func (rw *RWMutex) Observe(o Observer) {
+	rw.obsMu.Lock()
+	rw.observers = append(rw.observers, o)
+	rw.obsMu.Unlock()
+}
+
+func (rw *RWMutex) snapshot() []Observer {
+	rw.obsMu.Lock()
+	defer rw.obsMu.Unlock()
+	if len(rw.observers) == 0 {
+		return nil
+	}
+	out := make([]Observer, len(rw.observers))
+	copy(out, rw.observers)
+	return out
+}
+
+// shadow is the Mutex identity used in observer events and held-set
+// entries for this RWMutex, so detectors treat both lock kinds
+// uniformly. Created lazily, once.
+var (
+	shadowMu  sync.Mutex
+	shadowMap = map[*RWMutex]*Mutex{}
+)
+
+// Shadow returns the Mutex identity representing this lock in held sets
+// and observer events.
+func (rw *RWMutex) Shadow() *Mutex {
+	shadowMu.Lock()
+	defer shadowMu.Unlock()
+	m, ok := shadowMap[rw]
+	if !ok {
+		m = &Mutex{name: rw.name, class: rw.class}
+		shadowMap[rw] = m
+	}
+	return m
+}
+
+// Lock acquires the write side.
+func (rw *RWMutex) Lock() { rw.LockAt("") }
+
+// LockAt is Lock with a source-site label.
+func (rw *RWMutex) LockAt(site string) {
+	gid := GoroutineID()
+	sh := rw.Shadow()
+	for _, o := range rw.snapshot() {
+		o.BeforeLock(sh, gid, site)
+	}
+	rw.mu.Lock()
+	rw.ownMu.Lock()
+	rw.writer = gid
+	rw.writeSite = site
+	rw.ownMu.Unlock()
+	reg.push(gid, sh)
+	for _, o := range rw.snapshot() {
+		o.AfterLock(sh, gid, site)
+	}
+}
+
+// Unlock releases the write side.
+func (rw *RWMutex) Unlock() { rw.UnlockAt("") }
+
+// UnlockAt is Unlock with a source-site label.
+func (rw *RWMutex) UnlockAt(site string) {
+	gid := GoroutineID()
+	sh := rw.Shadow()
+	for _, o := range rw.snapshot() {
+		o.BeforeUnlock(sh, gid, site)
+	}
+	rw.ownMu.Lock()
+	rw.writer = 0
+	rw.writeSite = ""
+	rw.ownMu.Unlock()
+	reg.pop(gid, sh)
+	rw.mu.Unlock()
+}
+
+// RLock acquires the read side.
+func (rw *RWMutex) RLock() { rw.RLockAt("") }
+
+// RLockAt is RLock with a source-site label.
+func (rw *RWMutex) RLockAt(site string) {
+	gid := GoroutineID()
+	sh := rw.Shadow()
+	for _, o := range rw.snapshot() {
+		o.BeforeLock(sh, gid, site)
+	}
+	rw.mu.RLock()
+	rw.ownMu.Lock()
+	rw.readers[gid]++
+	rw.ownMu.Unlock()
+	reg.push(gid, sh)
+	for _, o := range rw.snapshot() {
+		o.AfterLock(sh, gid, site)
+	}
+}
+
+// RUnlock releases the read side.
+func (rw *RWMutex) RUnlock() { rw.RUnlockAt("") }
+
+// RUnlockAt is RUnlock with a source-site label.
+func (rw *RWMutex) RUnlockAt(site string) {
+	gid := GoroutineID()
+	sh := rw.Shadow()
+	for _, o := range rw.snapshot() {
+		o.BeforeUnlock(sh, gid, site)
+	}
+	rw.ownMu.Lock()
+	if rw.readers[gid] > 1 {
+		rw.readers[gid]--
+	} else {
+		delete(rw.readers, gid)
+	}
+	rw.ownMu.Unlock()
+	reg.pop(gid, sh)
+	rw.mu.RUnlock()
+}
+
+// WithRead runs f holding the read side.
+func (rw *RWMutex) WithRead(f func()) {
+	rw.RLock()
+	defer rw.RUnlock()
+	f()
+}
+
+// WithWrite runs f holding the write side.
+func (rw *RWMutex) WithWrite(f func()) {
+	rw.Lock()
+	defer rw.Unlock()
+	f()
+}
+
+// Writer returns the gid holding the write side (0 if none) and its
+// acquisition site.
+func (rw *RWMutex) Writer() (uint64, string) {
+	rw.ownMu.Lock()
+	defer rw.ownMu.Unlock()
+	return rw.writer, rw.writeSite
+}
+
+// ReaderCount returns the number of goroutines holding the read side.
+func (rw *RWMutex) ReaderCount() int {
+	rw.ownMu.Lock()
+	defer rw.ownMu.Unlock()
+	return len(rw.readers)
+}
+
+// String implements fmt.Stringer.
+func (rw *RWMutex) String() string {
+	if rw.class != nil {
+		return fmt.Sprintf("RWMutex(%s:%s)", rw.class.Name, rw.name)
+	}
+	return fmt.Sprintf("RWMutex(%s)", rw.name)
+}

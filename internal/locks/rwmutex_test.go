@@ -1,0 +1,122 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRWMutexBasics(t *testing.T) {
+	rw := NewRWMutex("rw")
+	rw.Lock()
+	if gid, _ := rw.Writer(); gid != GoroutineID() {
+		t.Fatal("writer not recorded")
+	}
+	if !IsHeld(rw.Shadow()) {
+		t.Fatal("write hold not in held set")
+	}
+	rw.Unlock()
+	if gid, _ := rw.Writer(); gid != 0 {
+		t.Fatal("writer not cleared")
+	}
+	if IsHeld(rw.Shadow()) {
+		t.Fatal("held set not cleared")
+	}
+}
+
+func TestRWMutexConcurrentReaders(t *testing.T) {
+	rw := NewRWMutex("rw2")
+	var inside atomic.Int32
+	var peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rw.WithRead(func() {
+				n := inside.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				inside.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if peak.Load() < 2 {
+		t.Fatalf("readers never overlapped (peak %d)", peak.Load())
+	}
+	if rw.ReaderCount() != 0 {
+		t.Fatal("reader count not cleared")
+	}
+}
+
+func TestRWMutexWriterExcludesReaders(t *testing.T) {
+	rw := NewRWMutex("rw3")
+	rw.Lock()
+	got := make(chan struct{})
+	go func() {
+		rw.RLock()
+		rw.RUnlock()
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("reader acquired while writer held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rw.Unlock()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never acquired after writer released")
+	}
+}
+
+func TestRWMutexReentrantRead(t *testing.T) {
+	rw := NewRWMutex("rw4")
+	rw.RLock()
+	rw.RLock()
+	if rw.ReaderCount() != 1 {
+		t.Fatalf("reader count = %d, want 1 goroutine", rw.ReaderCount())
+	}
+	rw.RUnlock()
+	if rw.ReaderCount() != 1 {
+		t.Fatal("depth-1 unlock removed the goroutine")
+	}
+	rw.RUnlock()
+	if rw.ReaderCount() != 0 {
+		t.Fatal("reader not removed")
+	}
+}
+
+func TestRWMutexObserverAndClass(t *testing.T) {
+	c := NewClass("Config")
+	rw := NewClassRWMutex("cfg", c)
+	var r recordingObserver
+	rw.Observe(&r)
+	rw.WithWrite(func() {})
+	rw.WithRead(func() {})
+	if r.before.Load() != 2 || r.after.Load() != 2 || r.unlock.Load() != 2 {
+		t.Fatalf("observer counts %d/%d/%d", r.before.Load(), r.after.Load(), r.unlock.Load())
+	}
+	rw.RLock()
+	if !IsClassHeld(c) {
+		t.Fatal("class not held via read side")
+	}
+	rw.RUnlock()
+	if rw.Shadow() != rw.Shadow() {
+		t.Fatal("shadow identity unstable")
+	}
+	if rw.String() != "RWMutex(Config:cfg)" {
+		t.Fatalf("String = %q", rw.String())
+	}
+	if NewRWMutex("plain").String() != "RWMutex(plain)" {
+		t.Fatal("plain String wrong")
+	}
+}

@@ -1,0 +1,24 @@
+package memory
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+)
+
+// goroutineID parses the current goroutine's id from the runtime stack
+// header.
+func goroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}

@@ -1,0 +1,200 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactBaseSmallCases(t *testing.T) {
+	// N=2, m=1: both threads pick 1 of 2 steps; collision prob = 1/2.
+	if got := ExactBase(2, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ExactBase(2,1) = %v, want 0.5", got)
+	}
+	// N=3, m=1: 1/3.
+	if got := ExactBase(3, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("ExactBase(3,1) = %v, want 1/3", got)
+	}
+	// 2m > N forces a collision.
+	if got := ExactBase(3, 2); got != 1 {
+		t.Fatalf("ExactBase(3,2) = %v, want 1", got)
+	}
+	if ExactBase(10, 0) != 0 || ExactBase(0, 1) != 0 {
+		t.Fatal("degenerate cases should be 0")
+	}
+}
+
+func TestExactBaseMonotonicInM(t *testing.T) {
+	prev := 0.0
+	for m := 1; m <= 20; m++ {
+		p := ExactBase(1000, m)
+		if p < prev-1e-12 {
+			t.Fatalf("ExactBase not monotone at m=%d: %v < %v", m, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestApproxMatchesExactForSmallM(t *testing.T) {
+	// For m << N the approximation should be within a few percent.
+	for _, n := range []int{10000, 100000} {
+		for _, m := range []int{1, 2, 5} {
+			exact := ExactBase(n, m)
+			approx := ApproxBase(n, m)
+			if exact == 0 {
+				continue
+			}
+			if rel := math.Abs(exact-approx) / exact; rel > 0.05 {
+				t.Errorf("N=%d m=%d: exact=%v approx=%v rel=%.3f", n, m, exact, approx, rel)
+			}
+		}
+	}
+}
+
+func TestTriggerLBExceedsBase(t *testing.T) {
+	for _, tc := range []struct{ n, M, m, T int }{
+		{100000, 10, 2, 100},
+		{1000000, 50, 5, 1000},
+		{10000, 5, 1, 10},
+	} {
+		base := ExactBase(tc.n, tc.m)
+		trig := ExactTriggerLB(tc.n, tc.M, tc.m, tc.T)
+		if trig <= base {
+			t.Errorf("trigger LB %v not above base %v for %+v", trig, base, tc)
+		}
+	}
+}
+
+func TestTriggerMonotoneInT(t *testing.T) {
+	prev := 0.0
+	for _, T := range []int{1, 10, 100, 1000, 10000} {
+		p := ExactTriggerLB(1000000, 20, 3, T)
+		if p < prev-1e-12 {
+			t.Fatalf("trigger prob not monotone in T at T=%d", T)
+		}
+		prev = p
+	}
+}
+
+func TestPrecisionLowersOverheadRaisesProbability(t *testing.T) {
+	// Lowering M (more precise predicate) with m fixed raises the
+	// trigger probability — the formal basis of section 6.3.
+	loose := ExactTriggerLB(1000000, 1000, 3, 100)
+	tight := ExactTriggerLB(1000000, 10, 3, 100)
+	if tight <= loose {
+		t.Fatalf("precision did not help: tight=%v loose=%v", tight, loose)
+	}
+}
+
+func TestImprovementFactorShape(t *testing.T) {
+	// Grows with T...
+	if ImprovementFactor(100000, 10, 2, 1000) <= ImprovementFactor(100000, 10, 2, 10) {
+		t.Fatal("improvement not increasing in T")
+	}
+	// ...and shrinks with M.
+	if ImprovementFactor(100000, 1000, 2, 100) >= ImprovementFactor(100000, 10, 2, 100) {
+		t.Fatal("improvement not decreasing in M")
+	}
+	if !math.IsInf(ImprovementFactor(0, 0, 1, 0), 1) && ImprovementFactor(0, 0, 1, 0) <= 0 {
+		t.Fatal("degenerate improvement should be +inf or positive")
+	}
+}
+
+func TestMonteCarloMatchesExactBase(t *testing.T) {
+	const runs = 20000
+	for _, tc := range []struct{ n, m int }{{100, 3}, {1000, 5}, {50, 2}} {
+		exact := ExactBase(tc.n, tc.m)
+		mc := MonteCarloBase(tc.n, tc.m, runs, 12345)
+		// Binomial std dev.
+		sd := math.Sqrt(exact * (1 - exact) / runs)
+		if math.Abs(mc-exact) > 5*sd+0.005 {
+			t.Errorf("N=%d m=%d: mc=%v exact=%v (5sd=%v)", tc.n, tc.m, mc, exact, 5*sd)
+		}
+	}
+}
+
+func TestMonteCarloTriggerTracksLB(t *testing.T) {
+	// The simulated trigger probability should be at least the closed
+	// form lower bound (up to sampling noise) and far above base.
+	const runs = 5000
+	n, M, m, T := 100000, 10, 2, 1000
+	lb := ExactTriggerLB(n, M, m, T)
+	mc := MonteCarloTrigger(n, M, m, T, runs, 999)
+	if mc < lb-0.05 {
+		t.Fatalf("simulated %v below lower bound %v", mc, lb)
+	}
+	base := ExactBase(n, m)
+	if mc < 10*base {
+		t.Fatalf("simulation shows no amplification: mc=%v base=%v", mc, base)
+	}
+}
+
+func TestSampleStepsProperties(t *testing.T) {
+	f := func(seed int64, n16, k16 uint16) bool {
+		n := int(n16%500) + 1
+		k := int(k16) % (n + 1)
+		rng := newRNG(seed)
+		out := sampleSteps(rng, n, k, nil)
+		if len(out) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		prev := -1
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] || v < prev {
+				return false
+			}
+			seen[v] = true
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepAndPointString(t *testing.T) {
+	pts := Sweep(100000, 10, 2, []int{10, 100, 1000})
+	if len(pts) != 3 {
+		t.Fatalf("Sweep rows = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Trigger < pts[i-1].Trigger {
+			t.Fatal("sweep not monotone in T")
+		}
+	}
+	if pts[0].String() == "" {
+		t.Fatal("empty Point.String")
+	}
+}
+
+func TestWindowsOverlap(t *testing.T) {
+	a := []window{{0, 10}}
+	if !windowsOverlap(a, []window{{5, 15}}) {
+		t.Fatal("overlapping windows not detected")
+	}
+	if windowsOverlap(a, []window{{10, 20}}) {
+		t.Fatal("touching windows (half-open) should not overlap")
+	}
+	if windowsOverlap(nil, a) {
+		t.Fatal("empty set overlaps")
+	}
+}
+
+func TestRuntimeFactor(t *testing.T) {
+	if got := RuntimeFactor(1000, 10, 100); got != 2 {
+		t.Fatalf("RuntimeFactor = %v, want 2", got)
+	}
+	if got := RuntimeFactor(0, 10, 100); got != 1 {
+		t.Fatalf("degenerate RuntimeFactor = %v", got)
+	}
+	// Precision (smaller M) cuts cost at fixed T.
+	if RuntimeFactor(100000, 1000, 100) <= RuntimeFactor(100000, 10, 100) {
+		t.Fatal("runtime factor not increasing in M")
+	}
+	// Cost grows with T.
+	if RuntimeFactor(100000, 10, 1000) <= RuntimeFactor(100000, 10, 10) {
+		t.Fatal("runtime factor not increasing in T")
+	}
+}

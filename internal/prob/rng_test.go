@@ -1,0 +1,6 @@
+package prob
+
+import "math/rand"
+
+// newRNG is a test helper giving property tests a seeded source.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,162 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Graph pins a *partial* order over named program points: each point
+// waits for its declared dependencies and nothing else, so independent
+// points stay concurrent. It generalizes Schedule (a chain) the same way
+// a set of concurrent breakpoints generalizes a single one — section 8's
+// "limit the number of allowed thread schedules" with exactly the edges
+// that matter.
+//
+// Like Schedule, waits are bounded: an infeasible declaration degrades
+// to the natural schedule and is recorded as a violation instead of
+// deadlocking the test.
+type Graph struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deps    map[string][]string
+	done    map[string]bool
+	timeout time.Duration
+
+	violations []string
+}
+
+// NewGraph returns an empty dependency graph. timeout bounds each Reach
+// wait; zero means one second.
+func NewGraph(timeout time.Duration) *Graph {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	g := &Graph{
+		deps:    make(map[string][]string),
+		done:    make(map[string]bool),
+		timeout: timeout,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Point declares a point and its dependencies. Dependencies need not be
+// declared themselves (they become bare points). Declaring a point
+// twice merges the dependency lists. Point returns the graph for
+// chaining.
+func (g *Graph) Point(name string, deps ...string) *Graph {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.deps[name] = append(g.deps[name], deps...)
+	for _, d := range deps {
+		if _, ok := g.deps[d]; !ok {
+			g.deps[d] = nil
+		}
+	}
+	return g
+}
+
+// Reach blocks until every dependency of point has been reached, then
+// marks point done and returns true. An undeclared point is
+// unconstrained. If the wait exceeds the timeout, the violation is
+// recorded, the point is marked done anyway, and Reach returns false.
+func (g *Graph) Reach(point string) bool {
+	deadline := time.Now().Add(g.timeout)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	deps, declared := g.deps[point]
+	if !declared {
+		return true
+	}
+	for {
+		missing := ""
+		for _, d := range deps {
+			if !g.done[d] {
+				missing = d
+				break
+			}
+		}
+		if missing == "" {
+			g.done[point] = true
+			g.cond.Broadcast()
+			return true
+		}
+		if time.Now().After(deadline) {
+			g.violations = append(g.violations,
+				fmt.Sprintf("point %q proceeded with unmet dependency %q", point, missing))
+			g.done[point] = true
+			g.cond.Broadcast()
+			return false
+		}
+		g.timedWait(deadline)
+	}
+}
+
+// timedWait waits on the condition with a coarse poll so deadline checks
+// happen even without a Broadcast. Called with g.mu held.
+func (g *Graph) timedWait(deadline time.Time) {
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-stop:
+		}
+		g.cond.Broadcast()
+	}()
+	g.cond.Wait()
+	close(stop)
+	_ = deadline
+}
+
+// Reached reports whether the point has been reached.
+func (g *Graph) Reached(point string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.done[point]
+}
+
+// Violations returns the recorded unmet-dependency proceeds.
+func (g *Graph) Violations() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.violations...)
+}
+
+// Validate checks the declared graph for dependency cycles and returns
+// an error naming one if found. Infeasible graphs still degrade safely
+// at runtime; Validate lets tests fail fast instead.
+func (g *Graph) Validate() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.deps))
+	var cycle string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = gray
+		for _, d := range g.deps[n] {
+			switch color[d] {
+			case gray:
+				cycle = fmt.Sprintf("%s -> %s", n, d)
+				return true
+			case white:
+				if dfs(d) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for n := range g.deps {
+		if color[n] == white && dfs(n) {
+			return fmt.Errorf("schedule graph has a cycle through %s", cycle)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package replay
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGraphDiamondOrdering(t *testing.T) {
+	// a -> {b, c} -> d: b and c run concurrently after a; d after both.
+	g := NewGraph(5 * time.Second)
+	g.Point("a").Point("b", "a").Point("c", "a").Point("d", "b", "c")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	var mu sync.Mutex
+	rec := func(p string) {
+		mu.Lock()
+		order = append(order, p)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for _, p := range []string{"d", "c", "b", "a"} { // start in reverse
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Reach(p)
+			rec(p)
+		}()
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	pos := map[string]int{}
+	for i, p := range order {
+		pos[p] = i
+	}
+	if pos["a"] > pos["b"] || pos["a"] > pos["c"] || pos["b"] > pos["d"] || pos["c"] > pos["d"] {
+		t.Fatalf("dependency order violated: %v", order)
+	}
+	if len(g.Violations()) != 0 {
+		t.Fatalf("violations: %v", g.Violations())
+	}
+}
+
+func TestGraphIndependentPointsDoNotBlock(t *testing.T) {
+	g := NewGraph(time.Second)
+	g.Point("x").Point("y")
+	start := time.Now()
+	if !g.Reach("y") || !g.Reach("x") {
+		t.Fatal("independent points failed")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("independent points blocked")
+	}
+}
+
+func TestGraphUndeclaredUnconstrained(t *testing.T) {
+	g := NewGraph(time.Second)
+	g.Point("a", "never")
+	if !g.Reach("mystery") {
+		t.Fatal("undeclared point constrained")
+	}
+}
+
+func TestGraphTimeoutRecordsViolation(t *testing.T) {
+	g := NewGraph(50 * time.Millisecond)
+	g.Point("late", "never-reached")
+	if g.Reach("late") {
+		t.Fatal("unmet dependency reported success")
+	}
+	v := g.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "never-reached") {
+		t.Fatalf("violations = %v", v)
+	}
+	if !g.Reached("late") {
+		t.Fatal("timed-out point not marked done")
+	}
+}
+
+func TestGraphValidateDetectsCycle(t *testing.T) {
+	g := NewGraph(time.Second)
+	g.Point("a", "b").Point("b", "c").Point("c", "a")
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	ok := NewGraph(time.Second)
+	ok.Point("a").Point("b", "a")
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("acyclic graph rejected: %v", err)
+	}
+}
+
+func TestGraphConcurrentFanIn(t *testing.T) {
+	// Many producers, one consumer gated on all of them.
+	g := NewGraph(5 * time.Second)
+	names := []string{"p0", "p1", "p2", "p3", "p4"}
+	g.Point("consume", names...)
+	var produced atomic.Int32
+	var wg sync.WaitGroup
+	for _, n := range names {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(len(n)) * time.Millisecond)
+			produced.Add(1)
+			g.Reach(n)
+		}()
+	}
+	consumed := make(chan int32, 1)
+	go func() {
+		g.Reach("consume")
+		consumed <- produced.Load()
+	}()
+	wg.Wait()
+	select {
+	case got := <-consumed:
+		if got != int32(len(names)) {
+			t.Fatalf("consumer ran after %d/%d producers", got, len(names))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer never ran")
+	}
+}

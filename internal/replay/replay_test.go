@@ -1,0 +1,219 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cbreak/internal/core"
+)
+
+func TestScheduleEnforcesDeclaredOrder(t *testing.T) {
+	s := NewSchedule(5*time.Second, "w1", "r2", "w3")
+	var order []string
+	var mu sync.Mutex
+	rec := func(p string) {
+		mu.Lock()
+		order = append(order, p)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // this thread wants r2 between the two writes
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond) // try to run early
+		s.Reach("r2")
+		rec("r2")
+	}()
+	go func() {
+		defer wg.Done()
+		s.Reach("w1")
+		rec("w1")
+		time.Sleep(20 * time.Millisecond)
+		s.Reach("w3")
+		rec("w3")
+	}()
+	wg.Wait()
+	if len(order) != 3 || order[0] != "w1" || order[1] != "r2" || order[2] != "w3" {
+		t.Fatalf("order = %v, want [w1 r2 w3]", order)
+	}
+	if !s.Done() {
+		t.Fatal("schedule not done")
+	}
+	if len(s.Violations()) != 0 {
+		t.Fatalf("unexpected violations: %v", s.Violations())
+	}
+}
+
+func TestScheduleUndeclaredPointUnconstrained(t *testing.T) {
+	s := NewSchedule(time.Second, "a")
+	if !s.Reach("not-declared") {
+		t.Fatal("undeclared point was constrained")
+	}
+	if !s.Reach("a") {
+		t.Fatal("declared point failed")
+	}
+	if !s.Reach("a") {
+		t.Fatal("consumed point should be unconstrained on re-reach")
+	}
+}
+
+func TestScheduleTimeoutRecordsViolation(t *testing.T) {
+	s := NewSchedule(50*time.Millisecond, "never", "late")
+	start := time.Now()
+	ok := s.Reach("late") // "never" is never reached
+	if ok {
+		t.Fatal("infeasible order reported success")
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("timed out too early")
+	}
+	if len(s.Violations()) != 1 {
+		t.Fatalf("violations = %v", s.Violations())
+	}
+	if s.Done() {
+		t.Fatal("schedule reported done despite violation")
+	}
+}
+
+func TestScheduleRepeatedPoints(t *testing.T) {
+	s := NewSchedule(2*time.Second, "a", "b", "a")
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.Reach("a")
+		mu.Lock()
+		order = append(order, "a1")
+		mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+		s.Reach("a")
+		mu.Lock()
+		order = append(order, "a2")
+		mu.Unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		s.Reach("b")
+		mu.Lock()
+		order = append(order, "b")
+		mu.Unlock()
+	}()
+	wg.Wait()
+	if len(order) != 3 || order[0] != "a1" || order[1] != "b" || order[2] != "a2" {
+		t.Fatalf("order = %v, want [a1 b a2]", order)
+	}
+}
+
+func TestRegressionAllHit(t *testing.T) {
+	e := core.NewEngine()
+	reg := &Regression{Engine: e, Required: []string{"rbp"}}
+	obj := new(int)
+	res := reg.Run(func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			e.TriggerHere(core.NewConflictTrigger("rbp", obj), true, core.Options{Timeout: time.Second})
+		}()
+		go func() {
+			defer wg.Done()
+			e.TriggerHere(core.NewConflictTrigger("rbp", obj), false, core.Options{Timeout: time.Second})
+		}()
+		wg.Wait()
+	})
+	if !res.AllHit || !res.Hit["rbp"] {
+		t.Fatalf("regression missed: %s", res)
+	}
+	if res.String() != "regression: all breakpoints hit" {
+		t.Fatalf("String = %q", res.String())
+	}
+}
+
+func TestRegressionMiss(t *testing.T) {
+	e := core.NewEngine()
+	reg := &Regression{Engine: e, Required: []string{"never-hit"}}
+	res := reg.Run(func() {})
+	if res.AllHit {
+		t.Fatal("regression reported success without hits")
+	}
+	if res.String() == "regression: all breakpoints hit" {
+		t.Fatal("String hides the miss")
+	}
+}
+
+func TestRegressionResetsBetweenRuns(t *testing.T) {
+	e := core.NewEngine()
+	reg := &Regression{Engine: e, Required: []string{"bp2"}}
+	obj := new(int)
+	hitScenario := func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			e.TriggerHere(core.NewConflictTrigger("bp2", obj), true, core.Options{Timeout: time.Second})
+		}()
+		go func() {
+			defer wg.Done()
+			e.TriggerHere(core.NewConflictTrigger("bp2", obj), false, core.Options{Timeout: time.Second})
+		}()
+		wg.Wait()
+	}
+	if !reg.Run(hitScenario).AllHit {
+		t.Fatal("first run missed")
+	}
+	// Second run with an empty scenario must not inherit old stats.
+	if reg.Run(func() {}).AllHit {
+		t.Fatal("stale stats leaked across Run")
+	}
+}
+
+func TestScheduleFeasibleOrdersNeverViolateProperty(t *testing.T) {
+	// For any declared order, goroutines that each Reach their own
+	// points in declared relative order always complete with no
+	// violations, however they interleave.
+	f := func(seed int64, nPoints uint8) bool {
+		n := int(nPoints)%6 + 2
+		points := make([]string, n)
+		for i := range points {
+			points[i] = fmt.Sprintf("p%d", i)
+		}
+		s := NewSchedule(10*time.Second, points...)
+		// Split points between two goroutines by parity of a seeded
+		// hash; each reaches its points in global declared order.
+		var mine, theirs []string
+		h := uint64(seed)
+		for i, p := range points {
+			h = h*6364136223846793005 + 1442695040888963407
+			if (h>>33)&1 == 0 || i == 0 {
+				mine = append(mine, p)
+			} else {
+				theirs = append(theirs, p)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, p := range mine {
+				s.Reach(p)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for _, p := range theirs {
+				s.Reach(p)
+			}
+		}()
+		wg.Wait()
+		return s.Done() && len(s.Violations()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func vcFrom(a, b, c uint64) VC {
+	v := New()
+	if a > 0 {
+		v.Set(1, a)
+	}
+	if b > 0 {
+		v.Set(2, b)
+	}
+	if c > 0 {
+		v.Set(3, c)
+	}
+	return v
+}
+
+func TestTickAndGet(t *testing.T) {
+	v := New()
+	if v.Get(7) != 0 {
+		t.Fatal("fresh clock not zero")
+	}
+	if v.Tick(7) != 1 || v.Tick(7) != 2 {
+		t.Fatal("Tick not incrementing")
+	}
+	if v.Get(7) != 2 {
+		t.Fatal("Get after Tick wrong")
+	}
+}
+
+func TestJoinIsComponentMax(t *testing.T) {
+	a := vcFrom(1, 5, 0)
+	b := vcFrom(3, 2, 4)
+	a.Join(b)
+	if a.Get(1) != 3 || a.Get(2) != 5 || a.Get(3) != 4 {
+		t.Fatalf("Join wrong: %v", a)
+	}
+}
+
+func TestHappensBeforeBasics(t *testing.T) {
+	a := vcFrom(1, 0, 0)
+	b := vcFrom(2, 1, 0)
+	if !a.HappensBefore(b) {
+		t.Error("a should happen before b")
+	}
+	if b.HappensBefore(a) {
+		t.Error("b must not happen before a")
+	}
+	if a.HappensBefore(a.Clone()) {
+		t.Error("clock must not happen before itself")
+	}
+	c := vcFrom(0, 0, 9)
+	if !a.Concurrent(c) {
+		t.Error("disjoint clocks should be concurrent")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := vcFrom(1, 2, 3)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Tick(1)
+	if a.Equal(b) {
+		t.Fatal("modified clone still equal")
+	}
+	// Absent components are zero.
+	x := vcFrom(1, 0, 0)
+	y := New()
+	y.Set(1, 1)
+	y.Set(2, 0)
+	if !x.Equal(y) {
+		t.Fatal("explicit zero component broke equality")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	v := vcFrom(1, 2, 3)
+	if v.String() != "{1:1 2:2 3:3}" {
+		t.Fatalf("String = %q", v.String())
+	}
+	if New().String() != "{}" {
+		t.Fatalf("empty String = %q", New().String())
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	var z Epoch
+	if !z.Zero() {
+		t.Fatal("zero epoch not Zero")
+	}
+	e := Epoch{ID: 4, T: 9}
+	if e.Zero() {
+		t.Fatal("nonzero epoch is Zero")
+	}
+	vc := New()
+	vc.Set(4, 9)
+	if !e.LEqVC(vc) {
+		t.Fatal("epoch should be <= its own frontier")
+	}
+	vc.Set(4, 8)
+	if e.LEqVC(vc) {
+		t.Fatal("epoch beyond frontier reported <=")
+	}
+	if e.String() != "9@4" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+// Property: happens-before is a strict partial order on clocks.
+func TestHappensBeforePartialOrderProperty(t *testing.T) {
+	gen := func(a, b, c uint8) VC { return vcFrom(uint64(a%4), uint64(b%4), uint64(c%4)) }
+	irreflexive := func(a, b, c uint8) bool {
+		v := gen(a, b, c)
+		return !v.HappensBefore(v)
+	}
+	if err := quick.Check(irreflexive, nil); err != nil {
+		t.Errorf("irreflexivity: %v", err)
+	}
+	antisymmetric := func(a1, b1, c1, a2, b2, c2 uint8) bool {
+		x, y := gen(a1, b1, c1), gen(a2, b2, c2)
+		return !(x.HappensBefore(y) && y.HappensBefore(x))
+	}
+	if err := quick.Check(antisymmetric, nil); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	transitive := func(a1, b1, c1, a2, b2, c2, a3, b3, c3 uint8) bool {
+		x, y, z := gen(a1, b1, c1), gen(a2, b2, c2), gen(a3, b3, c3)
+		if x.HappensBefore(y) && y.HappensBefore(z) {
+			return x.HappensBefore(z)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+// Property: Join is the least upper bound w.r.t. LEq.
+func TestJoinLUBProperty(t *testing.T) {
+	gen := func(a, b, c uint8) VC { return vcFrom(uint64(a%5), uint64(b%5), uint64(c%5)) }
+	f := func(a1, b1, c1, a2, b2, c2 uint8) bool {
+		x, y := gen(a1, b1, c1), gen(a2, b2, c2)
+		j := x.Clone()
+		j.Join(y)
+		return x.LEq(j) && y.LEq(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exactly one of {x HB y, y HB x, concurrent, equal} holds.
+func TestHBTrichotomyProperty(t *testing.T) {
+	gen := func(a, b, c uint8) VC { return vcFrom(uint64(a%3), uint64(b%3), uint64(c%3)) }
+	f := func(a1, b1, c1, a2, b2, c2 uint8) bool {
+		x, y := gen(a1, b1, c1), gen(a2, b2, c2)
+		n := 0
+		if x.HappensBefore(y) {
+			n++
+		}
+		if y.HappensBefore(x) {
+			n++
+		}
+		if x.Concurrent(y) {
+			n++
+		}
+		if x.Equal(y) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
