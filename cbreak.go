@@ -41,6 +41,8 @@ import (
 
 	"cbreak/internal/core"
 	"cbreak/internal/detect"
+	"cbreak/internal/guard"
+	"cbreak/internal/guard/faultinject"
 	"cbreak/internal/locks"
 	"cbreak/internal/memory"
 	"cbreak/internal/prob"
@@ -78,6 +80,12 @@ const (
 	OutcomeLocalFalse = core.OutcomeLocalFalse
 	OutcomeTimeout    = core.OutcomeTimeout
 	OutcomeHit        = core.OutcomeHit
+	// OutcomePanic: a user closure panicked and the hardening layer
+	// absorbed it (docs/USAGE.md, "Hardening & production use").
+	OutcomePanic = core.OutcomePanic
+	// OutcomeShed: an open circuit breaker passed the arrival straight
+	// through without postponement.
+	OutcomeShed = core.OutcomeShed
 )
 
 // NewEngine returns a fresh, enabled breakpoint engine.
@@ -233,6 +241,10 @@ type (
 	ScheduleGraph = replay.Graph
 	// Regression asserts that a scenario hits a set of breakpoints.
 	Regression = replay.Regression
+	// ScheduleViolation is the structured record of a timed-out
+	// Schedule/ScheduleGraph wait: which point was stuck and who held
+	// it up.
+	ScheduleViolation = replay.Violation
 )
 
 // NewSchedule declares a total order over named points with a per-wait
@@ -246,3 +258,97 @@ func NewSchedule(timeout time.Duration, points ...string) *Schedule {
 func NewScheduleGraph(timeout time.Duration) *ScheduleGraph {
 	return replay.NewGraph(timeout)
 }
+
+// Hardening layer (docs/USAGE.md, "Hardening & production use"): panic
+// isolation, the postponement watchdog, per-breakpoint circuit
+// breakers, the incident log, and deterministic fault injection.
+type (
+	// Incident is one retained hardening event (absorbed panic, stall,
+	// watchdog release, breaker transition).
+	Incident = guard.Incident
+	// IncidentKind classifies incidents.
+	IncidentKind = guard.IncidentKind
+	// BreakerConfig parameterizes per-breakpoint circuit breakers.
+	BreakerConfig = guard.BreakerConfig
+	// BreakerState is a circuit breaker's state (closed/open/half-open).
+	BreakerState = guard.BreakerState
+	// BreakerSnapshot is a point-in-time copy of one breaker's state.
+	BreakerSnapshot = guard.BreakerSnapshot
+	// Fault is the set of faults injectable at one trigger arrival.
+	Fault = guard.Fault
+	// FaultInjector decides which faults to inject per arrival.
+	FaultInjector = guard.Injector
+	// FaultPlan is a deterministic, ordinal-keyed fault-injection plan.
+	FaultPlan = faultinject.Plan
+	// FaultSide selects which breakpoint side a fault rule applies to.
+	FaultSide = faultinject.Side
+	// StatsSnapshot is an atomic copy of one breakpoint's counters.
+	StatsSnapshot = core.StatsSnapshot
+)
+
+// Incident kinds.
+const (
+	KindPanic           = guard.KindPanic
+	KindStall           = guard.KindStall
+	KindWatchdogRelease = guard.KindWatchdogRelease
+	KindBreakerTrip     = guard.KindBreakerTrip
+	KindBreakerProbe    = guard.KindBreakerProbe
+	KindBreakerRearm    = guard.KindBreakerRearm
+)
+
+// Breaker states and fault-plan sides.
+const (
+	BreakerClosed   = guard.BreakerClosed
+	BreakerOpen     = guard.BreakerOpen
+	BreakerHalfOpen = guard.BreakerHalfOpen
+
+	BothSides  = faultinject.BothSides
+	FirstSide  = faultinject.FirstSide
+	SecondSide = faultinject.SecondSide
+)
+
+// DefaultBreakerConfig returns the production breaker defaults.
+func DefaultBreakerConfig() BreakerConfig { return guard.DefaultBreakerConfig() }
+
+// NewFaultPlan returns an empty deterministic fault-injection plan;
+// install it with SetFaultInjector.
+func NewFaultPlan() *FaultPlan { return faultinject.NewPlan() }
+
+// SetFaultInjector installs a fault injector on the default engine (nil
+// removes it).
+func SetFaultInjector(in FaultInjector) { core.Default().SetInjector(in) }
+
+// SetBreakerConfig enables per-breakpoint circuit breakers on the
+// default engine (nil disables them).
+func SetBreakerConfig(cfg *BreakerConfig) { core.Default().SetBreakerConfig(cfg) }
+
+// BreakerStatus returns the default engine's circuit-breaker state for
+// the named breakpoint; ok is false when breakers are disabled or the
+// breakpoint has not been seen since they were enabled.
+func BreakerStatus(name string) (BreakerSnapshot, bool) {
+	return core.Default().BreakerSnapshot(name)
+}
+
+// StartWatchdog starts the default engine's postponement watchdog
+// (zero interval defaults to 50ms; zero grace defaults to interval).
+func StartWatchdog(interval, grace time.Duration) { core.Default().StartWatchdog(interval, grace) }
+
+// StopWatchdog stops the default engine's watchdog and waits for it.
+func StopWatchdog() { core.Default().StopWatchdog() }
+
+// SetIsolateActionPanics selects the default engine's action-panic
+// policy: false (default) re-throws action panics to the caller after
+// releasing the partner; true absorbs them into OutcomePanic.
+func SetIsolateActionPanics(v bool) { core.Default().SetIsolateActionPanics(v) }
+
+// Incidents returns the default engine's retained hardening incidents,
+// oldest first.
+func Incidents() []Incident { return core.Default().Incidents() }
+
+// IncidentCount returns the default engine's monotonic total of
+// incidents of one kind (monotonic even after the retained ring wraps).
+func IncidentCount(k IncidentKind) int64 { return core.Default().IncidentCount(k) }
+
+// SnapshotStats returns atomic snapshots of every breakpoint's counters
+// on the default engine, sorted by name.
+func SnapshotStats() []StatsSnapshot { return core.Default().SnapshotAll() }

@@ -1,0 +1,146 @@
+// Command hardening demonstrates the hardening layer through the public
+// cbreak facade: fault injection, panic isolation, the postponement
+// watchdog, circuit breakers, incident accounting, and schedule timeout
+// diagnostics. Its output is deterministic (no raw durations) so two
+// runs can be diffed to demonstrate reproducible fault injection.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cbreak"
+)
+
+func section(name string) { fmt.Printf("== %s ==\n", name) }
+
+func main() {
+	var obj int
+
+	// --- Panic isolation -------------------------------------------------
+	// The first side's injected global-predicate panic is absorbed; the
+	// already-postponed second side is released promptly instead of
+	// waiting out its full 5s budget.
+	section("panic isolation")
+	plan := cbreak.NewFaultPlan().PanicGlobal("demo.panic", cbreak.FirstSide, 1)
+	cbreak.SetFaultInjector(plan)
+
+	var wg sync.WaitGroup
+	var secondHit bool
+	var secondWait time.Duration
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		start := time.Now()
+		secondHit = cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.panic", &obj), false, 5*time.Second)
+		secondWait = time.Since(start)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the second side postpone
+	firstHit := cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.panic", &obj), true, 5*time.Second)
+	wg.Wait()
+	fmt.Printf("first side hit: %v (predicate panicked)\n", firstHit)
+	fmt.Printf("second side hit: %v, released well before its 5s budget: %v\n",
+		secondHit, secondWait < time.Second)
+	fmt.Printf("panic incidents: %d\n", cbreak.IncidentCount(cbreak.KindPanic))
+	fmt.Printf("faults applied: %d\n", len(plan.Applied()))
+
+	// --- Watchdog --------------------------------------------------------
+	// A wedged waiter (select timer sabotaged to 24h) is force-released
+	// once it overstays its postponement budget plus the grace period.
+	section("watchdog")
+	cbreak.Reset()
+	cbreak.SetFaultInjector(cbreak.NewFaultPlan().WedgeWait("demo.wedge", cbreak.FirstSide, 1))
+	cbreak.StartWatchdog(10*time.Millisecond, 20*time.Millisecond)
+	start := time.Now()
+	wedgedHit := cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.wedge", &obj), true, 50*time.Millisecond)
+	wedgedWait := time.Since(start)
+	cbreak.StopWatchdog()
+	cbreak.StopWatchdog() // idempotent
+	fmt.Printf("wedged side hit: %v, freed well before its sabotaged 24h wait: %v\n",
+		wedgedHit, wedgedWait < 5*time.Second)
+	fmt.Printf("watchdog releases: %d\n", cbreak.IncidentCount(cbreak.KindWatchdogRelease))
+
+	// --- Circuit breaker -------------------------------------------------
+	// Six lonely arrivals against a 5ms budget: four postpone and time
+	// out (tripping at MinSamples=4, rate 1.0 >= 0.5), the last two are
+	// shed without postponement. After the 150ms backoff a real
+	// rendezvous serves as the half-open probe and re-arms the breaker.
+	section("circuit breaker")
+	cbreak.Reset()
+	cbreak.SetFaultInjector(nil)
+	cfg := cbreak.DefaultBreakerConfig()
+	cfg.MinSamples = 4
+	cfg.TimeoutRate = 0.5
+	cfg.Backoff = 150 * time.Millisecond
+	cbreak.SetBreakerConfig(&cfg)
+	for i := 0; i < 6; i++ {
+		cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.breaker", &obj), true, 5*time.Millisecond)
+	}
+	if snap, ok := cbreak.BreakerStatus("demo.breaker"); ok {
+		fmt.Printf("after 6 lonely arrivals: state=%s trips=%d\n", snap.State, snap.Trips)
+	}
+	for _, st := range cbreak.SnapshotStats() {
+		if st.Name == "demo.breaker" {
+			fmt.Printf("stats: arrivals=%d postpones=%d timeouts=%d sheds=%d\n",
+				st.Arrivals, st.Postpones, st.Timeouts, st.Sheds)
+		}
+	}
+	time.Sleep(250 * time.Millisecond) // let the backoff expire
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.breaker", &obj), false, 500*time.Millisecond)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	probeHit := cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.breaker", &obj), true, 500*time.Millisecond)
+	wg.Wait()
+	if snap, ok := cbreak.BreakerStatus("demo.breaker"); ok {
+		fmt.Printf("after probe rendezvous (hit=%v): state=%s trips=%d rearms=%d\n",
+			probeHit, snap.State, snap.Trips, snap.Rearms)
+	}
+	fmt.Printf("breaker incidents: trip=%d probe=%d rearm=%d\n",
+		cbreak.IncidentCount(cbreak.KindBreakerTrip),
+		cbreak.IncidentCount(cbreak.KindBreakerProbe),
+		cbreak.IncidentCount(cbreak.KindBreakerRearm))
+	if _, ok := cbreak.BreakerStatus("never-seen"); !ok {
+		fmt.Println("unknown breakpoint has no breaker: ok=false")
+	}
+	cbreak.SetBreakerConfig(nil)
+
+	// --- Disabled engine -------------------------------------------------
+	// With the engine disabled, arrivals return immediately and the
+	// installed fault plan never fires.
+	section("disabled engine")
+	cbreak.Reset()
+	unused := cbreak.NewFaultPlan().PanicLocal("demo.disabled", cbreak.BothSides)
+	cbreak.SetFaultInjector(unused)
+	cbreak.SetEnabled(false)
+	disabledHit := cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.disabled", &obj), true, time.Second)
+	cbreak.SetEnabled(true)
+	cbreak.SetFaultInjector(nil)
+	fmt.Printf("disabled arrival hit: %v, faults applied: %d\n", disabledHit, len(unused.Applied()))
+
+	// --- Schedule timeout diagnostics ------------------------------------
+	// Point "a" never arrives; "b" and "c" block and time out. The
+	// structured violations name the stuck point and the blocker.
+	section("schedule diagnostics")
+	s := cbreak.NewSchedule(50*time.Millisecond, "a", "b", "c")
+	wg.Add(2)
+	go func() { defer wg.Done(); s.Reach("b") }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { defer wg.Done(); s.Reach("c") }()
+	wg.Wait()
+	for _, v := range s.ViolationDetails() {
+		fmt.Printf("point %q blocked by %q (also pending: %v)\n", v.Point, v.Blocker, v.Pending)
+	}
+	g := cbreak.NewScheduleGraph(30 * time.Millisecond)
+	g.Point("sink", "dep1", "dep2")
+	g.Reach("dep1")
+	if !g.Reach("sink") {
+		for _, v := range g.ViolationDetails() {
+			fmt.Printf("graph point %q blocked by %q (unmet: %v)\n", v.Point, v.Blocker, v.Pending)
+		}
+	}
+	fmt.Println("done")
+}

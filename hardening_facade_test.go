@@ -1,0 +1,80 @@
+package cbreak
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeHardening exercises the hardening surface end to end on the
+// default engine: fault injection, panic isolation, the watchdog, the
+// incident log, breakers, and stats snapshots.
+func TestFacadeHardening(t *testing.T) {
+	Reset()
+	SetEnabled(true)
+	defer func() {
+		SetFaultInjector(nil)
+		SetBreakerConfig(nil)
+		StopWatchdog()
+		SetIsolateActionPanics(false)
+		Reset()
+	}()
+
+	basePanics := IncidentCount(KindPanic)
+	baseReleases := IncidentCount(KindWatchdogRelease)
+
+	// Panic isolation via an injected local-predicate panic.
+	SetFaultInjector(NewFaultPlan().PanicLocal("facade.bp", FirstSide, 1))
+	if hit := TriggerHere(NewConflictTrigger("facade.bp", new(int)), true, time.Millisecond); hit {
+		t.Fatal("panicked trigger reported a hit")
+	}
+	if got := IncidentCount(KindPanic); got != basePanics+1 {
+		t.Fatalf("panic incidents = %d, want %d", got, basePanics+1)
+	}
+
+	// Watchdog frees a wedged waiter.
+	SetFaultInjector(NewFaultPlan().WedgeWait("facade.bp", BothSides))
+	StartWatchdog(10*time.Millisecond, 10*time.Millisecond)
+	done := make(chan bool, 1)
+	go func() {
+		done <- TriggerHere(NewConflictTrigger("facade.bp", new(int)), true, 20*time.Millisecond)
+	}()
+	select {
+	case hit := <-done:
+		if hit {
+			t.Fatal("wedged waiter reported a hit")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog did not free the wedged waiter")
+	}
+	if got := IncidentCount(KindWatchdogRelease); got != baseReleases+1 {
+		t.Fatalf("watchdog incidents = %d, want %d", got, baseReleases+1)
+	}
+	SetFaultInjector(nil)
+
+	// Breakers trip a 100%-timeout breakpoint and report via the facade.
+	cfg := BreakerConfig{MinSamples: 2, TimeoutRate: 0.9, Backoff: time.Hour}
+	SetBreakerConfig(&cfg)
+	for i := 0; i < 2; i++ {
+		TriggerHere(NewConflictTrigger("facade.bp", new(int)), true, time.Millisecond)
+	}
+	snap, ok := BreakerStatus("facade.bp")
+	if !ok || snap.State != BreakerOpen {
+		t.Fatalf("BreakerStatus = %v/%v, want open", snap.State, ok)
+	}
+	if len(Incidents()) == 0 {
+		t.Fatal("Incidents() empty after trips and releases")
+	}
+
+	found := false
+	for _, s := range SnapshotStats() {
+		if s.Name == "facade.bp" {
+			found = true
+			if s.Panics == 0 || s.Trips == 0 {
+				t.Fatalf("snapshot %+v missing hardening counters", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("SnapshotStats missing facade.bp")
+	}
+}

@@ -82,6 +82,13 @@ const (
 	OutcomeTimeout
 	// OutcomeHit: the breakpoint was reached and ordered.
 	OutcomeHit
+	// OutcomePanic: a user closure (predicate or action) panicked; the
+	// panic was absorbed by the hardening layer, any postponed partner
+	// was released, and the incident was logged.
+	OutcomePanic
+	// OutcomeShed: the breakpoint's circuit breaker is open; the
+	// arrival passed straight through without postponement.
+	OutcomeShed
 )
 
 // String returns a short human-readable form of the outcome.
@@ -95,6 +102,10 @@ func (o Outcome) String() string {
 		return "timeout"
 	case OutcomeHit:
 		return "hit"
+	case OutcomePanic:
+		return "panic"
+	case OutcomeShed:
+		return "shed"
 	default:
 		return "unknown"
 	}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cbreak/internal/guard"
 )
 
 // Engine implements the BTrigger mechanism: it keeps the set of
@@ -31,9 +33,21 @@ type Engine struct {
 	postponed map[string][]*waiter
 	multi     map[string][]*mwaiter // N-way breakpoints (multi.go)
 	stats     map[string]*BPStats
-	seq       uint64 // arrival sequence, for deterministic matching order
+	breakers  map[string]*guard.Breaker // per-breakpoint circuit breakers
+	seq       uint64                    // arrival sequence, for deterministic matching order
 
 	events eventLog // bounded event history + hit callback (events.go)
+
+	// Hardening layer (hardening.go): incident log, circuit-breaker
+	// configuration, fault injector, action-panic policy, watchdog.
+	incidents           guard.IncidentLog
+	breakerCfg          atomic.Pointer[guard.BreakerConfig]
+	injector            atomic.Value // *injectorBox
+	isolateActionPanics atomic.Bool
+
+	wdMu   sync.Mutex
+	wdStop chan struct{}
+	wdDone chan struct{}
 }
 
 // yield gives other goroutines the processor during ordering windows.
@@ -48,6 +62,7 @@ func NewEngine() *Engine {
 		postponed:      make(map[string][]*waiter),
 		multi:          make(map[string][]*mwaiter),
 		stats:          make(map[string]*BPStats),
+		breakers:       make(map[string]*guard.Breaker),
 	}
 	e.enabled.Store(true)
 	return e
@@ -70,6 +85,7 @@ func (e *Engine) Reset() {
 		for _, w := range ws {
 			if w.state == waiterWaiting {
 				w.state = waiterCancelled
+				w.cancelOutcome = OutcomeTimeout
 				close(w.cancelCh)
 			}
 		}
@@ -78,6 +94,7 @@ func (e *Engine) Reset() {
 		for _, w := range ws {
 			if w.state == waiterWaiting {
 				w.state = waiterCancelled
+				w.cancelOutcome = OutcomeTimeout
 				close(w.cancelCh)
 			}
 		}
@@ -85,6 +102,7 @@ func (e *Engine) Reset() {
 	e.postponed = make(map[string][]*waiter)
 	e.multi = make(map[string][]*mwaiter)
 	e.stats = make(map[string]*BPStats)
+	e.breakers = make(map[string]*guard.Breaker)
 }
 
 // matchResult is delivered to a postponed waiter when a partner arrives.
@@ -107,9 +125,17 @@ type waiter struct {
 	gid      uint64
 	seq      uint64
 	ch       chan matchResult // buffered, capacity 1
-	cancelCh chan struct{}    // closed by Reset to release the waiter
+	cancelCh chan struct{}    // closed by Reset/watchdog to release the waiter
 	state    int              // guarded by engine mu
 	action   func()           // optional first-action instruction (TriggerHereAnd)
+
+	// deadline is when the requested postponement budget expires; the
+	// watchdog force-releases waiters stuck past it (plus grace).
+	deadline time.Time
+	// cancelOutcome is the outcome a cancelled waiter reports, set
+	// under the engine mutex before cancelCh is closed (OutcomeTimeout
+	// for Reset/watchdog, OutcomePanic for poisoned-predicate release).
+	cancelOutcome Outcome
 }
 
 // TriggerHere announces that the calling goroutine has reached one side
@@ -154,21 +180,41 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 		return OutcomeDisabled
 	}
 	name := t.Name()
-	st := e.statsFor(name)
+	st, br := e.statsAndBreaker(name)
 	st.arrived(first)
+	fault := e.faultFor(name, first)
 
 	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = e.DefaultTimeout
 	}
 
-	if !e.localHolds(t, first, opts, st) {
+	if br != nil {
+		admit, tr := br.Allow(time.Now())
+		e.noteBreakerTransition(name, st, br, tr)
+		if !admit {
+			// Breaker open: the breakpoint is tripped; pass straight
+			// through at near-zero cost.
+			st.shed(first)
+			e.logEvent(EventArrived, name, 0, first)
+			if e.execAction(name, 0, st, fault, 0, action) {
+				return OutcomePanic
+			}
+			return OutcomeShed
+		}
+	}
+
+	ok, pv, panicked := e.evalLocal(t, first, opts, st, fault)
+	if panicked {
+		return e.absorbPredPanic(name, "local", 0, st, fault, pv, action)
+	}
+	if !ok || fault.Drop {
 		st.localFalse(first)
 		// Log without the goroutine-id stack parse: local-false is the
 		// hot rejection path for refined breakpoints on busy sites.
 		e.logEvent(EventArrived, name, 0, first)
-		if action != nil {
-			action()
+		if e.execAction(name, 0, st, fault, 0, action) {
+			return OutcomePanic
 		}
 		return OutcomeLocalFalse
 	}
@@ -178,7 +224,16 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 
 	e.mu.Lock()
 	// Try to match an already-postponed partner.
-	if w := e.findPartner(name, t, first, gid); w != nil {
+	w, poisoned, gpv := e.findPartner(name, t, first, gid, fault)
+	if poisoned != nil {
+		// The joint predicate panicked against this waiter: release the
+		// partner so nothing stays postponed behind a broken predicate,
+		// and absorb the panic.
+		e.releaseWaiterLocked(name, poisoned, OutcomePanic)
+		e.mu.Unlock()
+		return e.absorbPredPanic(name, "global", gid, st, fault, gpv, action)
+	}
+	if w != nil {
 		e.removeWaiter(name, w)
 		w.state = waiterMatched
 		st.hit()
@@ -189,41 +244,55 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 			// We are the first-action side; the postponed partner is second.
 			w.ch <- matchResult{other: t, iAmFirst: false, firstDone: fd}
 			e.mu.Unlock()
-			return e.runFirst(action, fd)
+			e.reportBreaker(br, name, st, true)
+			return e.runFirst(name, gid, st, fault, timeout, fd, action)
 		}
 		// The postponed partner is the first-action side.
 		w.ch <- matchResult{other: t, iAmFirst: true, firstDone: fd}
 		e.mu.Unlock()
+		e.reportBreaker(br, name, st, true)
 		e.awaitFirst(fd, timeout)
-		if action != nil {
-			action()
+		if e.execAction(name, gid, st, fault, timeout, action) {
+			return OutcomePanic
 		}
 		return OutcomeHit
 	}
 
 	// No partner yet: postpone ourselves.
 	e.seq++
-	w := &waiter{t: t, first: first, gid: gid, seq: e.seq,
-		ch: make(chan matchResult, 1), cancelCh: make(chan struct{}), action: action}
+	w = &waiter{t: t, first: first, gid: gid, seq: e.seq,
+		ch: make(chan matchResult, 1), cancelCh: make(chan struct{}), action: action,
+		deadline: time.Now().Add(timeout)}
 	e.postponed[name] = append(e.postponed[name], w)
 	st.postpone(first)
 	e.mu.Unlock()
 	e.logEvent(EventPostponed, name, gid, first)
 
-	timer := time.NewTimer(timeout)
+	selectTimeout := timeout
+	if fault.WedgeWait {
+		// Injected broken timer: only a partner, Reset, or the watchdog
+		// can release this waiter.
+		selectTimeout = wedgedTimeout
+	}
+	timer := time.NewTimer(selectTimeout)
 	defer timer.Stop()
 	start := time.Now()
 	select {
 	case res := <-w.ch:
 		st.addWait(time.Since(start))
-		return e.finishMatch(res, action, timeout)
+		e.reportBreaker(br, name, st, true)
+		return e.finishMatch(name, gid, st, fault, res, action, timeout)
 	case <-w.cancelCh:
-		// Reset released us; treat as a timeout.
+		// Reset, the watchdog, or a poisoned-predicate release freed us.
 		st.addWait(time.Since(start))
-		if action != nil {
-			action()
+		out := e.cancelOutcomeOf(func() Outcome { return w.cancelOutcome })
+		if out == OutcomeTimeout {
+			e.reportBreaker(br, name, st, false)
 		}
-		return OutcomeTimeout
+		if e.execAction(name, gid, st, fault, timeout, action) {
+			return OutcomePanic
+		}
+		return out
 	case <-timer.C:
 		e.mu.Lock()
 		if w.state == waiterMatched {
@@ -231,7 +300,8 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 			e.mu.Unlock()
 			res := <-w.ch
 			st.addWait(time.Since(start))
-			return e.finishMatch(res, action, timeout)
+			e.reportBreaker(br, name, st, true)
+			return e.finishMatch(name, gid, st, fault, res, action, timeout)
 		}
 		e.removeWaiter(name, w)
 		w.state = waiterCancelled
@@ -239,20 +309,21 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 		st.addWait(time.Since(start))
 		st.timeout(first)
 		e.logEvent(EventTimeout, name, gid, first)
-		if action != nil {
-			action()
+		e.reportBreaker(br, name, st, false)
+		if e.execAction(name, gid, st, fault, timeout, action) {
+			return OutcomePanic
 		}
 		return OutcomeTimeout
 	}
 }
 
-func (e *Engine) finishMatch(res matchResult, action func(), timeout time.Duration) Outcome {
+func (e *Engine) finishMatch(name string, gid uint64, st *BPStats, fault guard.Fault, res matchResult, action func(), timeout time.Duration) Outcome {
 	if res.iAmFirst {
-		return e.runFirst(action, res.firstDone)
+		return e.runFirst(name, gid, st, fault, timeout, res.firstDone, action)
 	}
 	e.awaitFirst(res.firstDone, timeout)
-	if action != nil {
-		action()
+	if e.execAction(name, gid, st, fault, timeout, action) {
+		return OutcomePanic
 	}
 	return OutcomeHit
 }
@@ -260,17 +331,20 @@ func (e *Engine) finishMatch(res matchResult, action func(), timeout time.Durati
 // runFirst executes the first-action side's next instruction (if the
 // caller supplied one) and then releases the second side. The release is
 // deferred so a panicking action (e.g. the guarded instruction throwing
-// the very exception the breakpoint reproduces) still frees the partner.
-func (e *Engine) runFirst(action func(), firstDone chan struct{}) Outcome {
-	if action != nil {
-		defer close(firstDone)
-		action()
+// the very exception the breakpoint reproduces) still frees the partner
+// whether the panic is re-thrown or absorbed (SetIsolateActionPanics).
+func (e *Engine) runFirst(name string, gid uint64, st *BPStats, fault guard.Fault, budget time.Duration, firstDone chan struct{}, action func()) Outcome {
+	if action == nil && fault.Zero() {
+		// No explicit next instruction: release the partner immediately;
+		// the partner additionally yields for OrderWindow so that this
+		// goroutine's next instruction very likely runs first.
+		close(firstDone)
 		return OutcomeHit
 	}
-	// No explicit next instruction: release the partner immediately; the
-	// partner additionally yields for OrderWindow so that this
-	// goroutine's next instruction very likely runs first.
-	close(firstDone)
+	defer close(firstDone)
+	if e.execAction(name, gid, st, fault, budget, action) {
+		return OutcomePanic
+	}
 	return OutcomeHit
 }
 
@@ -294,43 +368,37 @@ func (e *Engine) awaitFirst(firstDone chan struct{}, timeout time.Duration) {
 	}
 }
 
-// localHolds evaluates the effective local predicate: the trigger's own
-// PredicateLocal, the IgnoreFirst / Bound refinements, and ExtraLocal.
-func (e *Engine) localHolds(t Trigger, first bool, opts Options, st *BPStats) bool {
-	if !t.PredicateLocal() {
-		return false
-	}
-	if opts.IgnoreFirst > 0 && st.sideArrivals(first) <= int64(opts.IgnoreFirst) {
-		return false
-	}
-	if opts.Bound > 0 && st.Hits() >= int64(opts.Bound) {
-		return false
-	}
-	if opts.ExtraLocal != nil && !opts.ExtraLocal() {
-		return false
-	}
-	return true
-}
-
 // findPartner scans the postponed set for the oldest waiter that is a
 // valid partner for t: the opposite side of the breakpoint (the paper's
 // i != j condition), a different goroutine, and a satisfied joint
 // predicate (evaluated, as in the paper's library, as the arriving
-// side's predicateGlobal against the postponed side).
-func (e *Engine) findPartner(name string, t Trigger, first bool, gid uint64) *waiter {
-	var best *waiter
+// side's predicateGlobal against the postponed side). The predicate
+// runs isolated: if it panics, the scan stops and the waiter whose
+// pairing panicked is returned as poisoned along with the panic value,
+// so the caller can release it and absorb the failure.
+func (e *Engine) findPartner(name string, t Trigger, first bool, gid uint64, fault guard.Fault) (best, poisoned *waiter, pv any) {
 	for _, w := range e.postponed[name] {
 		if w.state != waiterWaiting || w.gid == gid || w.first == first {
 			continue
 		}
-		if !t.PredicateGlobal(w.t) {
+		other := w.t
+		ok, p, panicked := protectBool(func() bool {
+			if fault.PanicGlobal {
+				panic(guard.InjectedPanic{Breakpoint: name, Site: "global"})
+			}
+			return t.PredicateGlobal(other)
+		})
+		if panicked {
+			return nil, w, p
+		}
+		if !ok {
 			continue
 		}
 		if best == nil || w.seq < best.seq {
 			best = w
 		}
 	}
-	return best
+	return best, nil, nil
 }
 
 func (e *Engine) removeWaiter(name string, w *waiter) {

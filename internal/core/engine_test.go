@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"cbreak/internal/guard"
 )
 
 func newTestEngine() *Engine {
@@ -97,8 +99,8 @@ func TestSameGoroutineNeverMatches(t *testing.T) {
 	w := &waiter{t: NewConflictTrigger("bp", obj), first: false, gid: gid, ch: make(chan matchResult, 1)}
 	e.mu.Lock()
 	e.postponed["bp"] = append(e.postponed["bp"], w)
-	got := e.findPartner("bp", NewConflictTrigger("bp", obj), true, gid)
-	sameSide := e.findPartner("bp", NewConflictTrigger("bp", obj), false, gid+1)
+	got, _, _ := e.findPartner("bp", NewConflictTrigger("bp", obj), true, gid, guard.Fault{})
+	sameSide, _, _ := e.findPartner("bp", NewConflictTrigger("bp", obj), false, gid+1, guard.Fault{})
 	e.mu.Unlock()
 	if got != nil {
 		t.Fatal("findPartner matched a waiter from the same goroutine")

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cbreak/internal/guard"
+)
+
+// This file threads the internal/guard hardening layer through the
+// engine: panic isolation for user closures, per-breakpoint circuit
+// breakers, the postponement watchdog, the incident log, and the fault
+// injection hooks. The goal is the paper's production story made real:
+// an enabled breakpoint must never be able to crash or stall the host
+// program, no matter what its predicates and actions do.
+
+// wedgedTimeout replaces a waiter's postponement timer when a WedgeWait
+// fault simulates a broken timer; only a partner, Reset, or the
+// watchdog can release such a waiter.
+const wedgedTimeout = 24 * time.Hour
+
+// injectorBox wraps the injector interface for atomic storage.
+type injectorBox struct{ in guard.Injector }
+
+// SetInjector installs a fault injector consulted on every trigger
+// arrival (nil removes it). Production engines leave this unset and pay
+// one atomic pointer load per arrival.
+func (e *Engine) SetInjector(in guard.Injector) {
+	if in == nil {
+		e.injector.Store((*injectorBox)(nil))
+		return
+	}
+	e.injector.Store(&injectorBox{in: in})
+}
+
+// faultFor asks the installed injector (if any) which faults to apply
+// to this arrival.
+func (e *Engine) faultFor(name string, first bool) guard.Fault {
+	if b, _ := e.injector.Load().(*injectorBox); b != nil {
+		return b.in.Arrival(name, first)
+	}
+	return guard.Fault{}
+}
+
+// SetIsolateActionPanics selects the action-panic policy. By default a
+// panicking action is recorded and its partner released, but the panic
+// is re-thrown to the caller — the action is the application's own
+// guarded instruction, so its exceptions belong to the application.
+// With isolation on, the panic is absorbed and the call returns
+// OutcomePanic instead; use this when breakpoints ship in services that
+// must never crash on instrumentation bugs.
+func (e *Engine) SetIsolateActionPanics(v bool) { e.isolateActionPanics.Store(v) }
+
+// IsolateActionPanics reports the current action-panic policy.
+func (e *Engine) IsolateActionPanics() bool { return e.isolateActionPanics.Load() }
+
+// Incidents returns the engine's retained hardening incidents (absorbed
+// panics, stalls, watchdog releases, breaker transitions), oldest
+// first.
+func (e *Engine) Incidents() []guard.Incident { return e.incidents.Snapshot() }
+
+// IncidentCount returns the monotonic total of incidents of one kind.
+func (e *Engine) IncidentCount(k guard.IncidentKind) int64 { return e.incidents.Count(k) }
+
+func (e *Engine) recordIncident(k guard.IncidentKind, name string, gid uint64, detail string) {
+	e.incidents.Record(guard.Incident{Kind: k, Breakpoint: name, GID: gid, Detail: detail})
+}
+
+// SetBreakerConfig enables per-breakpoint circuit breakers with the
+// given configuration (zero fields take guard defaults), or disables
+// them when cfg is nil. Existing breaker state is discarded either way.
+func (e *Engine) SetBreakerConfig(cfg *guard.BreakerConfig) {
+	if cfg == nil {
+		e.breakerCfg.Store(nil)
+	} else {
+		c := *cfg
+		e.breakerCfg.Store(&c)
+	}
+	e.mu.Lock()
+	e.breakers = make(map[string]*guard.Breaker)
+	e.mu.Unlock()
+}
+
+// BreakerSnapshot returns the circuit-breaker state of the named
+// breakpoint; ok is false when breakers are disabled or the breakpoint
+// has not been seen since they were enabled.
+func (e *Engine) BreakerSnapshot(name string) (guard.BreakerSnapshot, bool) {
+	e.mu.Lock()
+	br := e.breakers[name]
+	e.mu.Unlock()
+	if br == nil {
+		return guard.BreakerSnapshot{}, false
+	}
+	return br.Snapshot(), true
+}
+
+// statsAndBreaker resolves the per-breakpoint stats record and (when
+// breakers are enabled) the breakpoint's circuit breaker under one
+// mutex acquisition, keeping the hot path at a single lock.
+func (e *Engine) statsAndBreaker(name string) (*BPStats, *guard.Breaker) {
+	cfg := e.breakerCfg.Load()
+	e.mu.Lock()
+	st, ok := e.stats[name]
+	if !ok {
+		st = &BPStats{name: name}
+		e.stats[name] = st
+	}
+	var br *guard.Breaker
+	if cfg != nil {
+		br = e.breakers[name]
+		if br == nil {
+			br = guard.NewBreaker(*cfg)
+			e.breakers[name] = br
+		}
+	}
+	e.mu.Unlock()
+	return st, br
+}
+
+// reportBreaker feeds a postponement outcome into the breakpoint's
+// breaker and logs any resulting state change.
+func (e *Engine) reportBreaker(br *guard.Breaker, name string, st *BPStats, hit bool) {
+	if br == nil {
+		return
+	}
+	var tr guard.Transition
+	if hit {
+		tr = br.OnHit(time.Now())
+	} else {
+		tr = br.OnTimeout(time.Now())
+	}
+	e.noteBreakerTransition(name, st, br, tr)
+}
+
+func (e *Engine) noteBreakerTransition(name string, st *BPStats, br *guard.Breaker, tr guard.Transition) {
+	switch tr {
+	case guard.TransitionTripped, guard.TransitionReopened:
+		st.trip()
+		e.recordIncident(guard.KindBreakerTrip, name, 0, "circuit opened: "+br.Snapshot().String())
+	case guard.TransitionProbe:
+		e.recordIncident(guard.KindBreakerProbe, name, 0, "backoff expired; half-open probe admitted")
+	case guard.TransitionRearmed:
+		st.rearm()
+		e.recordIncident(guard.KindBreakerRearm, name, 0, "probe hit; breaker closed")
+	}
+}
+
+// protectBool runs a user predicate under recover.
+func protectBool(fn func() bool) (ok bool, pv any, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok, pv, panicked = false, r, true
+		}
+	}()
+	ok = fn()
+	return
+}
+
+// evalLocal evaluates the effective local predicate (the trigger's
+// PredicateLocal, the IgnoreFirst/Bound refinements, and ExtraLocal)
+// with the user closures isolated: a panic is absorbed and reported
+// instead of unwinding through the caller.
+func (e *Engine) evalLocal(t Trigger, first bool, opts Options, st *BPStats, fault guard.Fault) (ok bool, pv any, panicked bool) {
+	name := t.Name()
+	ok, pv, panicked = protectBool(func() bool {
+		if fault.PanicLocal {
+			panic(guard.InjectedPanic{Breakpoint: name, Site: "local"})
+		}
+		return t.PredicateLocal()
+	})
+	if panicked || !ok {
+		return
+	}
+	if opts.IgnoreFirst > 0 && st.sideArrivals(first) <= int64(opts.IgnoreFirst) {
+		return false, nil, false
+	}
+	if opts.Bound > 0 && st.Hits() >= int64(opts.Bound) {
+		return false, nil, false
+	}
+	if opts.ExtraLocal != nil {
+		ok, pv, panicked = protectBool(func() bool {
+			if fault.PanicExtra {
+				panic(guard.InjectedPanic{Breakpoint: name, Site: "extra"})
+			}
+			return opts.ExtraLocal()
+		})
+	}
+	return
+}
+
+// absorbPredPanic accounts for an absorbed predicate panic and runs the
+// call's action (the application's instruction still belongs to the
+// application even when the instrumentation broke).
+func (e *Engine) absorbPredPanic(name, site string, gid uint64, st *BPStats, fault guard.Fault, pv any, action func()) Outcome {
+	st.panicked()
+	e.recordIncident(guard.KindPanic, name, gid, fmt.Sprintf("%s predicate panicked: %v", site, pv))
+	e.execAction(name, gid, st, fault, 0, action)
+	return OutcomePanic
+}
+
+// execAction runs a call-site action under the hardening policy:
+// injected stalls and panics are applied, panics are recovered and
+// logged, stalls past the handshake budget are logged, and the panic is
+// re-thrown or absorbed per SetIsolateActionPanics. It reports whether
+// an absorbed panic should turn the call's outcome into OutcomePanic.
+func (e *Engine) execAction(name string, gid uint64, st *BPStats, fault guard.Fault, budget time.Duration, action func()) (panicked bool) {
+	run := action
+	if fault.PanicAction {
+		run = func() {
+			if action != nil {
+				action()
+			}
+			panic(guard.InjectedPanic{Breakpoint: name, Site: "action"})
+		}
+	}
+	if run == nil && fault.StallAction <= 0 {
+		return false
+	}
+	start := time.Now()
+	if fault.StallAction > 0 {
+		time.Sleep(fault.StallAction)
+	}
+	var pv any
+	if run != nil {
+		_, pv, panicked = protectBool(func() bool { run(); return true })
+	}
+	if d := time.Since(start); budget > 0 && d > budget {
+		e.recordIncident(guard.KindStall, name, gid,
+			fmt.Sprintf("action ran %s, handshake budget %s", d.Round(time.Microsecond), budget))
+	}
+	if panicked {
+		st.panicked()
+		e.recordIncident(guard.KindPanic, name, gid, fmt.Sprintf("action panicked: %v", pv))
+		if !e.isolateActionPanics.Load() {
+			panic(pv)
+		}
+	}
+	return panicked
+}
+
+// releaseWaiterLocked cancels a postponed two-way waiter with the given
+// outcome. Caller holds e.mu.
+func (e *Engine) releaseWaiterLocked(name string, w *waiter, out Outcome) {
+	e.removeWaiter(name, w)
+	w.state = waiterCancelled
+	w.cancelOutcome = out
+	close(w.cancelCh)
+}
+
+// releaseMultiWaiterLocked is releaseWaiterLocked for multi-way
+// waiters. Caller holds e.mu.
+func (e *Engine) releaseMultiWaiterLocked(name string, w *mwaiter, out Outcome) {
+	e.removeMultiWaiter(name, w)
+	w.state = waiterCancelled
+	w.cancelOutcome = out
+	close(w.cancelCh)
+}
+
+// cancelOutcomeOf reads a cancelled waiter's outcome (set under e.mu
+// before cancelCh was closed).
+func (e *Engine) cancelOutcomeOf(read func() Outcome) Outcome {
+	e.mu.Lock()
+	out := read()
+	e.mu.Unlock()
+	if out == OutcomeDisabled { // never set: defensive default
+		out = OutcomeTimeout
+	}
+	return out
+}
+
+// StartWatchdog starts the engine's background postponement monitor: a
+// goroutine that every interval force-releases waiters stuck past their
+// postponement budget (their requested timeout plus grace) — wedged
+// handshakes, broken timers, leaked releases — and records each release
+// in the incident log. Zero interval defaults to 50ms; grace defaults
+// to one interval. Idempotent while running; stop with StopWatchdog.
+func (e *Engine) StartWatchdog(interval, grace time.Duration) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	if grace <= 0 {
+		grace = interval
+	}
+	e.wdMu.Lock()
+	defer e.wdMu.Unlock()
+	if e.wdStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	e.wdStop, e.wdDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-ticker.C:
+				e.watchdogScan(now, grace)
+			}
+		}
+	}()
+}
+
+// StopWatchdog stops the watchdog goroutine and waits for it to exit.
+// No-op when the watchdog is not running.
+func (e *Engine) StopWatchdog() {
+	e.wdMu.Lock()
+	stop, done := e.wdStop, e.wdDone
+	e.wdStop, e.wdDone = nil, nil
+	e.wdMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// WatchdogRunning reports whether the watchdog is active.
+func (e *Engine) WatchdogRunning() bool {
+	e.wdMu.Lock()
+	defer e.wdMu.Unlock()
+	return e.wdStop != nil
+}
+
+// watchdogScan force-releases every waiter postponed past its budget
+// and returns how many it released.
+func (e *Engine) watchdogScan(now time.Time, grace time.Duration) int {
+	type release struct {
+		name string
+		gid  uint64
+		over time.Duration
+	}
+	var releases []release
+	e.mu.Lock()
+	for name, ws := range e.postponed {
+		for _, w := range append([]*waiter(nil), ws...) {
+			if w.state == waiterWaiting && now.After(w.deadline.Add(grace)) {
+				e.releaseWaiterLocked(name, w, OutcomeTimeout)
+				releases = append(releases, release{name, w.gid, now.Sub(w.deadline)})
+			}
+		}
+	}
+	for name, ws := range e.multi {
+		for _, w := range append([]*mwaiter(nil), ws...) {
+			if w.state == waiterWaiting && now.After(w.deadline.Add(grace)) {
+				e.releaseMultiWaiterLocked(name, w, OutcomeTimeout)
+				releases = append(releases, release{name, w.gid, now.Sub(w.deadline)})
+			}
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range releases {
+		e.recordIncident(guard.KindWatchdogRelease, r.name, r.gid,
+			fmt.Sprintf("force-released %s past postponement budget", r.over.Round(time.Millisecond)))
+	}
+	return len(releases)
+}

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"cbreak/internal/guard"
+)
 
 // This file implements the paper's section 2 generalization: concurrent
 // breakpoints over more than two threads. A breakpoint of arity n is a
@@ -24,6 +28,11 @@ type mwaiter struct {
 	cancelCh chan struct{}
 	state    int // guarded by engine mu
 	action   func()
+
+	// deadline/cancelOutcome mirror the waiter fields (engine.go): the
+	// watchdog budget and the outcome a cancelled waiter reports.
+	deadline      time.Time
+	cancelOutcome Outcome
 }
 
 // mmatch tells a matched participant its release chain position.
@@ -60,17 +69,35 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 		return OutcomeDisabled
 	}
 	name := t.Name()
-	st := e.statsFor(name)
+	st, br := e.statsAndBreaker(name)
 	st.arrived(slot == 0)
+	fault := e.faultFor(name, slot == 0)
 
 	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = e.DefaultTimeout
 	}
-	if !e.localHolds(t, slot == 0, opts, st) {
+
+	if br != nil {
+		admit, tr := br.Allow(time.Now())
+		e.noteBreakerTransition(name, st, br, tr)
+		if !admit {
+			st.shed(slot == 0)
+			if e.execAction(name, 0, st, fault, 0, action) {
+				return OutcomePanic
+			}
+			return OutcomeShed
+		}
+	}
+
+	ok, pv, panicked := e.evalLocal(t, slot == 0, opts, st, fault)
+	if panicked {
+		return e.absorbPredPanic(name, "local", 0, st, fault, pv, action)
+	}
+	if !ok || fault.Drop {
 		st.localFalse(slot == 0)
-		if action != nil {
-			action()
+		if e.execAction(name, 0, st, fault, 0, action) {
+			return OutcomePanic
 		}
 		return OutcomeLocalFalse
 	}
@@ -78,7 +105,12 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 	e.logEvent(EventArrived, name, gid, slot == 0)
 
 	e.mu.Lock()
-	group := e.findGroup(name, t, slot, arity, gid)
+	group, poisoned, gpv := e.findGroup(name, t, slot, arity, gid, fault)
+	if poisoned != nil {
+		e.releaseMultiWaiterLocked(name, poisoned, OutcomePanic)
+		e.mu.Unlock()
+		return e.absorbPredPanic(name, "global", gid, st, fault, gpv, action)
+	}
 	if group != nil {
 		st.hit()
 		e.logEvent(EventHit, name, gid, slot == 0)
@@ -96,37 +128,49 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 			w.ch <- mmatch{prev: chain[w.slot], self: chain[w.slot+1]}
 		}
 		e.mu.Unlock()
-		return e.runChainStage(chain[slot], chain[slot+1], action, timeout)
+		e.reportBreaker(br, name, st, true)
+		return e.runChainStage(name, gid, st, fault, chain[slot], chain[slot+1], action, timeout)
 	}
 
 	// Postpone.
 	e.seq++
 	w := &mwaiter{t: t, slot: slot, arity: arity, gid: gid, seq: e.seq,
-		ch: make(chan mmatch, 1), cancelCh: make(chan struct{}), action: action}
+		ch: make(chan mmatch, 1), cancelCh: make(chan struct{}), action: action,
+		deadline: time.Now().Add(timeout)}
 	e.multi[name] = append(e.multi[name], w)
 	st.postpone(slot == 0)
 	e.mu.Unlock()
 
-	timer := time.NewTimer(timeout)
+	selectTimeout := timeout
+	if fault.WedgeWait {
+		selectTimeout = wedgedTimeout
+	}
+	timer := time.NewTimer(selectTimeout)
 	defer timer.Stop()
 	start := time.Now()
 	select {
 	case mm := <-w.ch:
 		st.addWait(time.Since(start))
-		return e.runChainStage(mm.prev, mm.self, action, timeout)
+		e.reportBreaker(br, name, st, true)
+		return e.runChainStage(name, gid, st, fault, mm.prev, mm.self, action, timeout)
 	case <-w.cancelCh:
 		st.addWait(time.Since(start))
-		if action != nil {
-			action()
+		out := e.cancelOutcomeOf(func() Outcome { return w.cancelOutcome })
+		if out == OutcomeTimeout {
+			e.reportBreaker(br, name, st, false)
 		}
-		return OutcomeTimeout
+		if e.execAction(name, gid, st, fault, timeout, action) {
+			return OutcomePanic
+		}
+		return out
 	case <-timer.C:
 		e.mu.Lock()
 		if w.state == waiterMatched {
 			e.mu.Unlock()
 			mm := <-w.ch
 			st.addWait(time.Since(start))
-			return e.runChainStage(mm.prev, mm.self, action, timeout)
+			e.reportBreaker(br, name, st, true)
+			return e.runChainStage(name, gid, st, fault, mm.prev, mm.self, action, timeout)
 		}
 		e.removeMultiWaiter(name, w)
 		w.state = waiterCancelled
@@ -134,8 +178,9 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 		st.addWait(time.Since(start))
 		st.timeout(slot == 0)
 		e.logEvent(EventTimeout, name, gid, slot == 0)
-		if action != nil {
-			action()
+		e.reportBreaker(br, name, st, false)
+		if e.execAction(name, gid, st, fault, timeout, action) {
+			return OutcomePanic
 		}
 		return OutcomeTimeout
 	}
@@ -144,17 +189,22 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 // runChainStage waits for the previous slot, runs this slot's action,
 // and releases the next slot. Without an action the release happens
 // immediately and the ordering window gives the earlier slots' next
-// instructions time to run first.
-func (e *Engine) runChainStage(prev, self chan struct{}, action func(), timeout time.Duration) Outcome {
+// instructions time to run first. The release is deferred so a
+// panicking or stalling action cannot wedge the rest of the chain.
+func (e *Engine) runChainStage(name string, gid uint64, st *BPStats, fault guard.Fault, prev, self chan struct{}, action func(), timeout time.Duration) Outcome {
 	select {
 	case <-prev:
 	case <-time.After(timeout):
 		// Defensive: an earlier stage stalled; proceed anyway.
 	}
 	defer close(self)
-	if action != nil {
-		action()
-		return OutcomeHit
+	if action != nil || !fault.Zero() {
+		if e.execAction(name, gid, st, fault, timeout, action) {
+			return OutcomePanic
+		}
+		if action != nil {
+			return OutcomeHit
+		}
 	}
 	if e.OrderWindow > 0 {
 		// Plain call sites: yield briefly so earlier slots' next
@@ -172,15 +222,36 @@ func (e *Engine) runChainStage(prev, self chan struct{}, action func(), timeout 
 // distinct goroutines and pairwise-satisfied joint predicates (including
 // against the arriving trigger). It returns nil if no complete group
 // exists. Slots are filled by backtracking over the (small) candidate
-// lists, preferring older waiters.
-func (e *Engine) findGroup(name string, t Trigger, slot, arity int, gid uint64) []*mwaiter {
+// lists, preferring older waiters. Joint predicates run isolated, like
+// findPartner's: on a panic the search aborts and the waiter whose
+// pairing panicked is returned as poisoned with the panic value.
+func (e *Engine) findGroup(name string, t Trigger, slot, arity int, gid uint64, fault guard.Fault) (group []*mwaiter, poisoned *mwaiter, pv any) {
+	pair := func(a, b Trigger) (bool, any, bool) {
+		return protectBool(func() bool {
+			if fault.PanicGlobal {
+				panic(guard.InjectedPanic{Breakpoint: name, Site: "global"})
+			}
+			return a.PredicateGlobal(b)
+		})
+	}
 	// Candidates per missing slot.
 	cands := make(map[int][]*mwaiter)
 	for _, w := range e.multi[name] {
 		if w.state != waiterWaiting || w.arity != arity || w.slot == slot || w.gid == gid {
 			continue
 		}
-		if !t.PredicateGlobal(w.t) || !w.t.PredicateGlobal(t) {
+		fwd, p, panicked := pair(t, w.t)
+		if panicked {
+			return nil, w, p
+		}
+		var rev bool
+		if fwd {
+			rev, p, panicked = pair(w.t, t)
+			if panicked {
+				return nil, w, p
+			}
+		}
+		if !fwd || !rev {
 			continue
 		}
 		cands[w.slot] = append(cands[w.slot], w)
@@ -191,7 +262,7 @@ func (e *Engine) findGroup(name string, t Trigger, slot, arity int, gid uint64) 
 			continue
 		}
 		if len(cands[s]) == 0 {
-			return nil
+			return nil, nil, nil
 		}
 		need = append(need, s)
 	}
@@ -202,9 +273,29 @@ func (e *Engine) findGroup(name string, t Trigger, slot, arity int, gid uint64) 
 			return true
 		}
 		for _, w := range cands[need[i]] {
+			if poisoned != nil {
+				return false
+			}
 			ok := true
 			for _, c := range chosen {
-				if c.gid == w.gid || !c.t.PredicateGlobal(w.t) || !w.t.PredicateGlobal(c.t) {
+				if c.gid == w.gid {
+					ok = false
+					break
+				}
+				fwd, p, panicked := pair(c.t, w.t)
+				if panicked {
+					poisoned, pv = w, p
+					return false
+				}
+				var rev bool
+				if fwd {
+					rev, p, panicked = pair(w.t, c.t)
+					if panicked {
+						poisoned, pv = w, p
+						return false
+					}
+				}
+				if !fwd || !rev {
 					ok = false
 					break
 				}
@@ -221,9 +312,12 @@ func (e *Engine) findGroup(name string, t Trigger, slot, arity int, gid uint64) 
 		return false
 	}
 	if !pick(0) {
-		return nil
+		if poisoned != nil {
+			return nil, poisoned, pv
+		}
+		return nil, nil, nil
 	}
-	return chosen
+	return chosen, nil, nil
 }
 
 func (e *Engine) removeMultiWaiter(name string, w *mwaiter) {

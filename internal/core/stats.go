@@ -22,6 +22,14 @@ type BPStats struct {
 	waitNanos     atomic.Int64 // total time spent postponed
 	maxWaitNanos  atomic.Int64
 	lastHitUnixNs atomic.Int64
+
+	// Hardening counters (hardening.go): absorbed user-closure panics,
+	// arrivals shed by an open circuit breaker, breaker trips and
+	// re-arms.
+	panics atomic.Int64
+	sheds  [2]atomic.Int64
+	trips  atomic.Int64
+	rearms atomic.Int64
 }
 
 func sideIndex(first bool) int {
@@ -51,6 +59,11 @@ func (s *BPStats) addWait(d time.Duration) {
 	}
 }
 
+func (s *BPStats) panicked()       { s.panics.Add(1) }
+func (s *BPStats) shed(first bool) { s.sheds[sideIndex(first)].Add(1) }
+func (s *BPStats) trip()           { s.trips.Add(1) }
+func (s *BPStats) rearm()          { s.rearms.Add(1) }
+
 func (s *BPStats) sideArrivals(first bool) int64 { return s.arrivals[sideIndex(first)].Load() }
 
 // Name returns the breakpoint name these statistics belong to.
@@ -79,9 +92,69 @@ func (s *BPStats) TotalWait() time.Duration { return time.Duration(s.waitNanos.L
 // MaxWait returns the longest single postponement.
 func (s *BPStats) MaxWait() time.Duration { return time.Duration(s.maxWaitNanos.Load()) }
 
+// Panics returns how many user-closure panics the hardening layer
+// absorbed at this breakpoint.
+func (s *BPStats) Panics() int64 { return s.panics.Load() }
+
+// Sheds returns how many arrivals an open circuit breaker passed
+// straight through.
+func (s *BPStats) Sheds() int64 { return s.sheds[0].Load() + s.sheds[1].Load() }
+
+// Trips returns how many times the breakpoint's circuit breaker
+// opened (initial trips and failed-probe re-opens).
+func (s *BPStats) Trips() int64 { return s.trips.Load() }
+
+// Rearms returns how many times a half-open probe closed the breaker
+// again.
+func (s *BPStats) Rearms() int64 { return s.rearms.Load() }
+
+// StatsSnapshot is an atomic struct copy of one breakpoint's counters,
+// safe to read while the engine is running (each field is loaded
+// atomically, so consumers like cmd/cbtables and the incident log never
+// see torn values).
+type StatsSnapshot struct {
+	Name        string
+	Arrivals    int64
+	LocalFalses int64
+	Postpones   int64
+	Timeouts    int64
+	Hits        int64
+	Panics      int64
+	Sheds       int64
+	Trips       int64
+	Rearms      int64
+	TotalWait   time.Duration
+	MaxWait     time.Duration
+	LastHit     time.Time
+}
+
+// Snapshot returns an atomic copy of the counters.
+func (s *BPStats) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Name:        s.name,
+		Arrivals:    s.Arrivals(),
+		LocalFalses: s.LocalFalses(),
+		Postpones:   s.Postpones(),
+		Timeouts:    s.Timeouts(),
+		Hits:        s.Hits(),
+		Panics:      s.Panics(),
+		Sheds:       s.Sheds(),
+		Trips:       s.Trips(),
+		Rearms:      s.Rearms(),
+		TotalWait:   s.TotalWait(),
+		MaxWait:     s.MaxWait(),
+	}
+	if ns := s.lastHitUnixNs.Load(); ns != 0 {
+		snap.LastHit = time.Unix(0, ns)
+	}
+	return snap
+}
+
 func (s *BPStats) String() string {
-	return fmt.Sprintf("%s: arrivals=%d localFalse=%d postponed=%d timeouts=%d hits=%d wait=%s",
-		s.name, s.Arrivals(), s.LocalFalses(), s.Postpones(), s.Timeouts(), s.Hits(), s.TotalWait())
+	snap := s.Snapshot()
+	return fmt.Sprintf("%s: arrivals=%d localFalse=%d postponed=%d timeouts=%d hits=%d wait=%s panics=%d shed=%d trips=%d",
+		snap.Name, snap.Arrivals, snap.LocalFalses, snap.Postpones, snap.Timeouts, snap.Hits,
+		snap.TotalWait, snap.Panics, snap.Sheds, snap.Trips)
 }
 
 func (e *Engine) statsFor(name string) *BPStats {
@@ -109,6 +182,17 @@ func (e *Engine) AllStats() []*BPStats {
 	}
 	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// SnapshotAll returns atomic snapshots of every breakpoint's counters,
+// sorted by name.
+func (e *Engine) SnapshotAll() []StatsSnapshot {
+	all := e.AllStats()
+	out := make([]StatsSnapshot, len(all))
+	for i, st := range all {
+		out[i] = st.Snapshot()
+	}
 	return out
 }
 

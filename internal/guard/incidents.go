@@ -1,0 +1,141 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IncidentKind classifies an absorbed failure or a hardening state
+// change.
+type IncidentKind int
+
+// Incident kinds.
+const (
+	// KindPanic: a user closure (predicate or action) panicked and was
+	// absorbed by the engine.
+	KindPanic IncidentKind = iota
+	// KindStall: an action ran longer than the handshake budget,
+	// leaving its partner to proceed on the defensive timeout.
+	KindStall
+	// KindWatchdogRelease: the watchdog force-released a goroutine
+	// postponed past its budget.
+	KindWatchdogRelease
+	// KindBreakerTrip: a breakpoint's circuit breaker tripped open.
+	KindBreakerTrip
+	// KindBreakerProbe: an open breaker admitted a half-open probe.
+	KindBreakerProbe
+	// KindBreakerRearm: a half-open probe succeeded and the breaker
+	// closed again.
+	KindBreakerRearm
+)
+
+const incidentKindCount = int(KindBreakerRearm) + 1
+
+// String returns the incident-kind label.
+func (k IncidentKind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindStall:
+		return "stall"
+	case KindWatchdogRelease:
+		return "watchdog-release"
+	case KindBreakerTrip:
+		return "breaker-trip"
+	case KindBreakerProbe:
+		return "breaker-probe"
+	case KindBreakerRearm:
+		return "breaker-rearm"
+	default:
+		return "unknown"
+	}
+}
+
+// Incident is one entry of the hardening layer's incident log.
+type Incident struct {
+	// When is the incident timestamp.
+	When time.Time
+	// Kind classifies the incident.
+	Kind IncidentKind
+	// Breakpoint is the breakpoint involved.
+	Breakpoint string
+	// GID is the goroutine involved, when known (0 otherwise).
+	GID uint64
+	// Detail is a human-readable description (panic value, stall
+	// duration, backoff, ...).
+	Detail string
+}
+
+// String formats the incident for logs.
+func (in Incident) String() string {
+	return fmt.Sprintf("[%s] %s g%d: %s", in.Kind, in.Breakpoint, in.GID, in.Detail)
+}
+
+// IncidentLog is a bounded ring of incidents with per-kind running
+// totals. The totals are monotonic even after old entries rotate out of
+// the ring. The zero value is ready to use.
+type IncidentLog struct {
+	mu   sync.Mutex
+	buf  []Incident
+	next int
+	full bool
+
+	counts [incidentKindCount]atomic.Int64
+}
+
+const incidentLogCapacity = 256
+
+// Record appends an incident to the log.
+func (l *IncidentLog) Record(in Incident) {
+	if in.When.IsZero() {
+		in.When = time.Now()
+	}
+	if k := int(in.Kind); k >= 0 && k < incidentKindCount {
+		l.counts[k].Add(1)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buf == nil {
+		l.buf = make([]Incident, incidentLogCapacity)
+	}
+	l.buf[l.next] = in
+	l.next = (l.next + 1) % len(l.buf)
+	if l.next == 0 {
+		l.full = true
+	}
+}
+
+// Snapshot returns the retained incidents, oldest first.
+func (l *IncidentLog) Snapshot() []Incident {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buf == nil {
+		return nil
+	}
+	var out []Incident
+	if l.full {
+		out = append(out, l.buf[l.next:]...)
+	}
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Count returns the running total of incidents of the given kind,
+// including entries that have rotated out of the ring.
+func (l *IncidentLog) Count(k IncidentKind) int64 {
+	if int(k) < 0 || int(k) >= incidentKindCount {
+		return 0
+	}
+	return l.counts[k].Load()
+}
+
+// Total returns the running total across all kinds.
+func (l *IncidentLog) Total() int64 {
+	var n int64
+	for i := range l.counts {
+		n += l.counts[i].Load()
+	}
+	return n
+}

@@ -82,8 +82,8 @@ func Measure(runs int, breakpoint bool, timeout time.Duration, fn RunFunc) Measu
 		if res.BPHit {
 			m.BPHits++
 		}
-		for _, st := range e.AllStats() {
-			waitTotal += st.TotalWait()
+		for _, snap := range e.SnapshotAll() {
+			waitTotal += snap.TotalWait
 		}
 		total += res.Elapsed
 		times = append(times, res.Elapsed)

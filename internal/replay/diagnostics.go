@@ -1,0 +1,46 @@
+package replay
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Violation is the structured record of one timed-out schedule wait,
+// answering the two questions a failing pinned test needs answered:
+// which named point was stuck, and who held it up.
+type Violation struct {
+	// Point is the point whose Reach wait exceeded the timeout.
+	Point string
+	// Blocker is what never arrived: for a Schedule, the next undone
+	// point in the declared total order; for a Graph, the first unmet
+	// dependency of Point.
+	Blocker string
+	// Pending lists everything still outstanding at the moment of the
+	// timeout: for a Schedule, the other points with a Reach call
+	// blocked alongside this one; for a Graph, all of Point's unmet
+	// dependencies.
+	Pending []string
+	// Wait is how long the point waited before giving up.
+	Wait time.Duration
+}
+
+// String formats the violation the way Violations() reports it.
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "point %q waited %s for %q", v.Point, v.Wait.Round(time.Millisecond), v.Blocker)
+	if len(v.Pending) > 0 {
+		fmt.Fprintf(&b, " (also pending: %s)", strings.Join(v.Pending, ", "))
+	}
+	return b.String()
+}
+
+// formatViolations renders structured violations as strings for the
+// backward-compatible Violations accessors.
+func formatViolations(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}

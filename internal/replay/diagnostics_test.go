@@ -1,0 +1,75 @@
+package replay
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScheduleViolationDetails(t *testing.T) {
+	// Declared order a, b, c — but a never arrives. b and c both block
+	// and time out; each violation must name the stuck point, the
+	// blocker (a), and the other blocked point.
+	s := NewSchedule(50*time.Millisecond, "a", "b", "c")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s.Reach("b") }()
+	go func() { defer wg.Done(); s.Reach("c") }()
+	wg.Wait()
+
+	vs := s.ViolationDetails()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2: %+v", len(vs), vs)
+	}
+	sawPending := false
+	for _, v := range vs {
+		if v.Blocker != "a" {
+			t.Fatalf("violation blocker = %q, want %q (the point that never arrived): %+v", v.Blocker, "a", v)
+		}
+		if v.Point != "b" && v.Point != "c" {
+			t.Fatalf("violation point = %q, want b or c", v.Point)
+		}
+		if v.Wait < 50*time.Millisecond {
+			t.Fatalf("violation wait = %v, want >= timeout", v.Wait)
+		}
+		if len(v.Pending) > 0 {
+			sawPending = true
+			if other := v.Pending[0]; other == v.Point || (other != "b" && other != "c") {
+				t.Fatalf("pending = %v for point %q, want the other blocked point", v.Pending, v.Point)
+			}
+		}
+	}
+	// The first point to time out must see the other still blocked.
+	if !sawPending {
+		t.Fatal("no violation recorded the concurrently blocked points")
+	}
+	// The formatted view stays available for logs.
+	strs := s.Violations()
+	if len(strs) != 2 || !strings.Contains(strs[0], `"a"`) {
+		t.Fatalf("formatted violations = %v", strs)
+	}
+}
+
+func TestGraphViolationDetails(t *testing.T) {
+	g := NewGraph(30 * time.Millisecond)
+	g.Point("sink", "dep1", "dep2")
+	g.Reach("dep1")
+	if g.Reach("sink") {
+		t.Fatal("sink proceeded without dep2")
+	}
+	vs := g.ViolationDetails()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.Point != "sink" || v.Blocker != "dep2" {
+		t.Fatalf("violation = %+v, want sink blocked by dep2", v)
+	}
+	if len(v.Pending) != 1 || v.Pending[0] != "dep2" {
+		t.Fatalf("pending = %v, want exactly the unmet dependency dep2", v.Pending)
+	}
+	if !strings.Contains(g.Violations()[0], `"dep2"`) {
+		t.Fatalf("formatted violation %q does not name the unmet dependency", g.Violations()[0])
+	}
+}

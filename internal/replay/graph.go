@@ -23,7 +23,7 @@ type Graph struct {
 	done    map[string]bool
 	timeout time.Duration
 
-	violations []string
+	violations []Violation
 }
 
 // NewGraph returns an empty dependency graph. timeout bounds each Reach
@@ -62,7 +62,8 @@ func (g *Graph) Point(name string, deps ...string) *Graph {
 // unconstrained. If the wait exceeds the timeout, the violation is
 // recorded, the point is marked done anyway, and Reach returns false.
 func (g *Graph) Reach(point string) bool {
-	deadline := time.Now().Add(g.timeout)
+	start := time.Now()
+	deadline := start.Add(g.timeout)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	deps, declared := g.deps[point]
@@ -70,21 +71,24 @@ func (g *Graph) Reach(point string) bool {
 		return true
 	}
 	for {
-		missing := ""
+		var unmet []string
 		for _, d := range deps {
 			if !g.done[d] {
-				missing = d
-				break
+				unmet = append(unmet, d)
 			}
 		}
-		if missing == "" {
+		if len(unmet) == 0 {
 			g.done[point] = true
 			g.cond.Broadcast()
 			return true
 		}
 		if time.Now().After(deadline) {
-			g.violations = append(g.violations,
-				fmt.Sprintf("point %q proceeded with unmet dependency %q", point, missing))
+			g.violations = append(g.violations, Violation{
+				Point:   point,
+				Blocker: unmet[0],
+				Pending: unmet,
+				Wait:    time.Since(start),
+			})
 			g.done[point] = true
 			g.cond.Broadcast()
 			return false
@@ -116,11 +120,18 @@ func (g *Graph) Reached(point string) bool {
 	return g.done[point]
 }
 
-// Violations returns the recorded unmet-dependency proceeds.
+// Violations returns the recorded unmet-dependency proceeds, formatted.
 func (g *Graph) Violations() []string {
+	return formatViolations(g.ViolationDetails())
+}
+
+// ViolationDetails returns the structured records of the timed-out
+// waits: which point was stuck and which of its dependencies were
+// still unmet when it gave up.
+func (g *Graph) ViolationDetails() []Violation {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return append([]string(nil), g.violations...)
+	return append([]Violation(nil), g.violations...)
 }
 
 // Validate checks the declared graph for dependency cycles and returns

@@ -18,7 +18,7 @@
 package replay
 
 import (
-	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,7 +35,8 @@ type Schedule struct {
 	next    int
 	timeout time.Duration
 
-	violations []string
+	waiting    map[string]int // points with a Reach call currently blocked
+	violations []Violation
 }
 
 // NewSchedule declares an order of points. timeout bounds each Reach
@@ -44,7 +45,7 @@ func NewSchedule(timeout time.Duration, points ...string) *Schedule {
 	if timeout <= 0 {
 		timeout = time.Second
 	}
-	s := &Schedule{points: points, timeout: timeout}
+	s := &Schedule{points: points, timeout: timeout, waiting: make(map[string]int)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -55,9 +56,18 @@ func NewSchedule(timeout time.Duration, points ...string) *Schedule {
 // the violation is recorded, the point is treated as consumed out of
 // order, and Reach returns false.
 func (s *Schedule) Reach(point string) bool {
-	deadline := time.Now().Add(s.timeout)
+	start := time.Now()
+	deadline := start.Add(s.timeout)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	blocked := false
+	defer func() {
+		if blocked {
+			if s.waiting[point]--; s.waiting[point] == 0 {
+				delete(s.waiting, point)
+			}
+		}
+	}()
 	for {
 		if s.next >= len(s.points) {
 			// Past the declared schedule: unconstrained.
@@ -74,13 +84,34 @@ func (s *Schedule) Reach(point string) bool {
 			return true
 		}
 		if time.Now().After(deadline) {
-			s.violations = append(s.violations,
-				fmt.Sprintf("point %q waited past timeout while %q was next", point, s.points[s.next]))
+			s.violations = append(s.violations, Violation{
+				Point:   point,
+				Blocker: s.points[s.next],
+				Pending: s.otherWaiters(point),
+				Wait:    time.Since(start),
+			})
 			return false
+		}
+		if !blocked {
+			blocked = true
+			s.waiting[point]++
 		}
 		// Wake periodically to re-check the deadline.
 		s.timedWait(deadline)
 	}
+}
+
+// otherWaiters lists the points (other than point) with a Reach call
+// currently blocked, sorted. Called with s.mu held.
+func (s *Schedule) otherWaiters(point string) []string {
+	var out []string
+	for p := range s.waiting {
+		if p != point {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // contains reports whether point still occurs at or after next.
@@ -116,11 +147,18 @@ func (s *Schedule) Done() bool {
 	return s.next >= len(s.points)
 }
 
-// Violations returns the recorded out-of-order waits.
+// Violations returns the recorded out-of-order waits, formatted.
 func (s *Schedule) Violations() []string {
+	return formatViolations(s.ViolationDetails())
+}
+
+// ViolationDetails returns the structured records of the timed-out
+// waits: which point was stuck, which declared point never arrived, and
+// what else was blocked at that moment.
+func (s *Schedule) ViolationDetails() []Violation {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]string(nil), s.violations...)
+	return append([]Violation(nil), s.violations...)
 }
 
 // Regression asserts that running a concurrent scenario hits a set of
