@@ -9,14 +9,26 @@
 //	cbtables -table all -runs 20
 //	cbtables -table log4j -runs 100
 //	cbtables -table 1 -runs 100   # the paper used 100 runs per row
+//
+// Supervised campaigns (-json) run every trial in a killable child
+// process with deadlines, retries, a JSONL checkpoint, and quarantine,
+// so one deadlocked or crashing reproduction cannot wedge the run:
+//
+//	cbtables -table 1 -runs 100 -json -seed 7 -parallel 4
+//	cbtables -table 1 -runs 100 -json -seed 7 -resume   # after a SIGINT
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/campaign"
 	"cbreak/internal/harness"
 )
 
@@ -24,7 +36,25 @@ func main() {
 	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, log4j, pause, precision, model, all")
 	runs := flag.Int("runs", 10, "runs per configuration (the paper used 100)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	seed := flag.Int64("seed", 1, "campaign seed: derives each trial's workload jitter and the retry backoff, so runs reproduce run-to-run")
+	deadline := flag.Duration("deadline", 30*time.Second, "hard per-trial wall-clock deadline; hung trials are killed and counted as 'trial timeout'")
+	jsonMode := flag.Bool("json", false, "run as a supervised campaign: subprocess-isolated trials journaled to the -checkpoint JSONL file")
+	resume := flag.Bool("resume", false, "resume the -checkpoint journal, skipping completed trials (requires the same -seed it was written with)")
+	checkpoint := flag.String("checkpoint", "cbtables-campaign.jsonl", "JSONL trial journal path for supervised campaigns")
+	parallel := flag.Int("parallel", 1, "concurrently running trial workers in supervised campaigns")
+	retries := flag.Int("retries", 2, "retries per trial for infrastructure failures (worker crash/timeout), with jittered exponential backoff")
+	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive worker failures before a configuration is quarantined and its row marked partial")
+	chaosCrash := flag.Int("chaos-crash", 0, "inject a worker crash into the Nth trial dispatch (1-based); CI uses this to prove campaigns survive crashing trials")
+	trialWorker := flag.Bool("trial-worker", false, "internal: run one trial from a JSON request on stdin and report on stdout")
 	flag.Parse()
+
+	if *trialWorker {
+		os.Exit(workerMain())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	render := func(t harness.Table) string {
 		if *csv {
 			return t.CSV()
@@ -32,36 +62,109 @@ func main() {
 		return t.Render()
 	}
 
+	var run harness.Runner
+	var sup *campaign.Supervisor
+	var cp *campaign.Checkpoint
+	if *jsonMode || *resume {
+		bin, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbtables: cannot locate own binary for worker re-exec: %v\n", err)
+			os.Exit(1)
+		}
+		cp, err = campaign.Open(*checkpoint, *seed, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbtables: %v\n", err)
+			os.Exit(1)
+		}
+		defer cp.Close()
+		if *resume && cp.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "cbtables: resuming %s: %d trials already journaled\n", *checkpoint, cp.Len())
+		}
+		if *retries == 0 {
+			*retries = -1 // flag 0 means "no retries"; Config 0 means default
+		}
+		sup, err = campaign.New(campaign.Config{
+			Context:            ctx,
+			Execute:            campaign.SubprocessExecutor(bin, "-trial-worker"),
+			Checkpoint:         cp,
+			Seed:               *seed,
+			Deadline:           *deadline,
+			Retries:            *retries,
+			QuarantineAfter:    *quarantineAfter,
+			Parallel:           *parallel,
+			ChaosCrashDispatch: *chaosCrash,
+			Log:                os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbtables: %v\n", err)
+			os.Exit(1)
+		}
+		run = sup.Runner()
+	} else {
+		run = harness.InProcess(ctx, *deadline, *seed)
+	}
+
 	start := time.Now()
+	appkit.SeedJitter(*seed)
 	switch *table {
 	case "1":
-		fmt.Print(render(harness.Table1(*runs)))
+		fmt.Print(render(harness.Table1With(*runs, run)))
 	case "2":
-		fmt.Print(render(harness.Table2(*runs)))
+		fmt.Print(render(harness.Table2With(*runs, run)))
 	case "log4j":
-		fmt.Print(render(harness.Log4jTable(*runs)))
+		fmt.Print(render(harness.Log4jTableWith(*runs, run)))
 	case "pause":
-		fmt.Print(render(harness.PauseSweep(*runs)))
+		fmt.Print(render(harness.PauseSweepWith(*runs, run)))
 	case "precision":
-		fmt.Print(render(harness.PrecisionAblation(*runs)))
+		fmt.Print(render(harness.PrecisionAblationWith(*runs, run)))
 	case "model":
-		fmt.Print(render(harness.ModelTable(20000, *runs)))
+		fmt.Print(render(harness.ModelTableWith(20000, *runs, run)))
 	case "all":
-		fmt.Print(render(harness.Table1(*runs)))
+		fmt.Print(render(harness.Table1With(*runs, run)))
 		fmt.Println()
-		fmt.Print(render(harness.Table2(*runs)))
+		fmt.Print(render(harness.Table2With(*runs, run)))
 		fmt.Println()
-		fmt.Print(render(harness.Log4jTable(*runs)))
+		fmt.Print(render(harness.Log4jTableWith(*runs, run)))
 		fmt.Println()
-		fmt.Print(render(harness.PauseSweep(*runs)))
+		fmt.Print(render(harness.PauseSweepWith(*runs, run)))
 		fmt.Println()
-		fmt.Print(render(harness.PrecisionAblation(*runs)))
+		fmt.Print(render(harness.PrecisionAblationWith(*runs, run)))
 		fmt.Println()
-		fmt.Print(render(harness.ModelTable(20000, *runs)))
+		fmt.Print(render(harness.ModelTableWith(20000, *runs, run)))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		flag.Usage()
 		os.Exit(2)
 	}
 	fmt.Printf("\n(%d runs per configuration, %.1fs total)\n", *runs, time.Since(start).Seconds())
+	if sup != nil {
+		if q := sup.Quarantined(); len(q) > 0 {
+			fmt.Fprintf(os.Stderr, "cbtables: %d configuration(s) quarantined after repeated worker failures:\n", len(q))
+			for _, k := range q {
+				fmt.Fprintf(os.Stderr, "  %s\n", k)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "cbtables: %d trial record(s) journaled to %s\n", cp.Len(), *checkpoint)
+		if sup.Interrupted() {
+			cp.Close()
+			fmt.Fprintf(os.Stderr, "cbtables: interrupted; checkpoint flushed — resume with -resume -seed %d\n", *seed)
+			os.Exit(130)
+		}
+	}
+}
+
+// workerMain is the hidden -trial-worker mode: execute exactly one
+// trial, addressed by the JSON WorkerRequest on stdin, and report the
+// TrialOutcome as one JSON line on stdout. The supervisor enforces the
+// trial deadline by killing this process.
+func workerMain() int {
+	if os.Getenv(campaign.ChaosEnv) == campaign.ChaosCrash {
+		// CI's injected infrastructure failure: die without reporting.
+		return 3
+	}
+	if err := campaign.ServeTrial(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "trial-worker: %v\n", err)
+		return 1
+	}
+	return 0
 }

@@ -10,7 +10,9 @@
 package appkit
 
 import (
+	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +41,15 @@ const (
 	// LogDisorder: log records appear out of order (MySQL bug #169
 	// analog).
 	LogDisorder
+	// TrialTimeout: the harness killed the trial at its per-trial
+	// wall-clock deadline. This is an infrastructure outcome (the trial
+	// never reported), not an observed bug: a deadlock the *application*
+	// detects within its own StallAfter budget reports Stall instead.
+	TrialTimeout
+	// WorkerCrash: the trial's worker process died without reporting a
+	// result (abnormal exit, killed, or garbled report). Infrastructure
+	// outcome, not an observed bug.
+	WorkerCrash
 )
 
 // String returns the outcome label used in result tables.
@@ -60,27 +71,74 @@ func (s Status) String() string {
 		return "log omission"
 	case LogDisorder:
 		return "log disorder"
+	case TrialTimeout:
+		return "trial timeout"
+	case WorkerCrash:
+		return "worker crash"
 	default:
 		return "unknown"
 	}
 }
 
-// Buggy reports whether the status represents an observed bug.
-func (s Status) Buggy() bool { return s != OK }
+// statusNames maps every label back to its Status for deserialization.
+var statusNames = func() map[string]Status {
+	m := make(map[string]Status)
+	for s := OK; s <= WorkerCrash; s++ {
+		m[s.String()] = s
+	}
+	return m
+}()
 
-// Result is the outcome of one application run.
+// ParseStatus inverts Status.String. Unknown labels report ok=false.
+func ParseStatus(label string) (Status, bool) {
+	s, ok := statusNames[label]
+	return s, ok
+}
+
+// MarshalJSON encodes the status as its table label, so JSONL trial
+// records stay greppable and stable across reorderings of the enum.
+func (s Status) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a status label.
+func (s *Status) UnmarshalJSON(data []byte) error {
+	var label string
+	if err := json.Unmarshal(data, &label); err != nil {
+		return err
+	}
+	v, ok := ParseStatus(label)
+	if !ok {
+		return fmt.Errorf("appkit: unknown status label %q", label)
+	}
+	*s = v
+	return nil
+}
+
+// Infrastructure reports whether the status describes a harness-level
+// failure (timed-out or crashed trial) rather than an application
+// outcome. Infrastructure outcomes are retried by campaign supervisors;
+// application outcomes are not.
+func (s Status) Infrastructure() bool { return s == TrialTimeout || s == WorkerCrash }
+
+// Buggy reports whether the status represents an observed bug.
+// Infrastructure failures are not bugs: the trial produced no
+// application verdict at all.
+func (s Status) Buggy() bool { return s != OK && !s.Infrastructure() }
+
+// Result is the outcome of one application run. It marshals to a flat
+// JSON object (status as its label, elapsed in nanoseconds) so campaign
+// workers can report it over a pipe and checkpoints can journal it.
 type Result struct {
 	// Status classifies the run.
-	Status Status
+	Status Status `json:"status"`
 	// Detail is a human-readable elaboration (panic message, which
 	// worker stalled, ...).
-	Detail string
+	Detail string `json:"detail,omitempty"`
 	// Elapsed is the run's wall-clock duration (stalled runs report
 	// the deadline).
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// BPHit reports whether the run's concurrent breakpoint(s) were
 	// hit.
-	BPHit bool
+	BPHit bool `json:"bp_hit"`
 }
 
 // String formats the result compactly.
@@ -115,6 +173,38 @@ func RunWithDeadline(deadline time.Duration, f func() Result) Result {
 	case <-time.After(deadline):
 		return Result{Status: Stall, Detail: "deadline exceeded", Elapsed: deadline}
 	}
+}
+
+// jitterState is the shared workload-jitter RNG state (splitmix64,
+// advanced atomically so concurrent app goroutines draw independent
+// values without a lock). Benchmark applications derive their simulated
+// latency skews from this stream instead of wall-clock noise, so a
+// campaign seeded with -seed replays the same jitter run-to-run.
+var jitterState atomic.Uint64
+
+func init() { jitterState.Store(uint64(time.Now().UnixNano()) | 1) }
+
+// SeedJitter resets the workload-jitter RNG. The harness and the
+// campaign worker call this with the per-trial seed derived from the
+// campaign -seed, making trial workloads reproducible; unseeded
+// processes start from wall-clock entropy.
+func SeedJitter(seed int64) { jitterState.Store(uint64(seed)*2654435761 + 0x9e3779b97f4a7c15) }
+
+// jitterNext advances the splitmix64 stream one step.
+func jitterNext() uint64 {
+	z := jitterState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// JitterDuration returns a pseudo-random duration in [0, scale) from the
+// seedable jitter stream (zero when scale <= 0).
+func JitterDuration(scale time.Duration) time.Duration {
+	if scale <= 0 {
+		return 0
+	}
+	return time.Duration(jitterNext() % uint64(scale))
 }
 
 // Capture runs f and converts a panic into an Exception result; a normal

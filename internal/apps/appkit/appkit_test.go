@@ -1,6 +1,7 @@
 package appkit
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -79,5 +80,93 @@ func TestResultString(t *testing.T) {
 	r = Result{Status: Stall, Detail: "x", Elapsed: time.Second, BPHit: true}
 	if !strings.Contains(r.String(), "stall: x") || !strings.Contains(r.String(), "bp=true") {
 		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestStatusJSONRoundTrip(t *testing.T) {
+	for s := OK; s <= WorkerCrash; s++ {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Status
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if got != s {
+			t.Fatalf("round trip %v -> %s -> %v", s, data, got)
+		}
+	}
+	var bad Status
+	if err := json.Unmarshal([]byte(`"not a status"`), &bad); err == nil {
+		t.Fatal("unknown label should fail to unmarshal")
+	}
+}
+
+func TestStatusClassification(t *testing.T) {
+	for s := OK; s <= WorkerCrash; s++ {
+		infra := s == TrialTimeout || s == WorkerCrash
+		if s.Infrastructure() != infra {
+			t.Fatalf("%v Infrastructure() = %v", s, s.Infrastructure())
+		}
+		buggy := s != OK && !infra
+		if s.Buggy() != buggy {
+			t.Fatalf("%v Buggy() = %v", s, s.Buggy())
+		}
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	want := Result{Status: Stall, Detail: "lost wakeup", Elapsed: 1500 * time.Millisecond, BPHit: true}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire format is the greppable flat object the checkpoint
+	// journal stores.
+	for _, frag := range []string{`"status":"stall"`, `"detail":"lost wakeup"`, `"elapsed_ns":1500000000`, `"bp_hit":true`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("wire form %s missing %s", data, frag)
+		}
+	}
+	var got Result
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+func TestSeededJitterIsDeterministic(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		SeedJitter(seed)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = JitterDuration(time.Second)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded stream diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= time.Second {
+			t.Fatalf("jitter %v outside [0, 1s)", a[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+	if JitterDuration(0) != 0 || JitterDuration(-time.Second) != 0 {
+		t.Fatal("non-positive scale should yield zero jitter")
 	}
 }

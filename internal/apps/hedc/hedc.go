@@ -211,7 +211,7 @@ func (c *Crawler) work(worker int) {
 	// Post-processing (result de-duplication, stats) takes a random,
 	// worker-dependent time, so the final merges arrive skewed by up to
 	// the fetch-jitter scale.
-	skew := time.Duration(uint64(time.Now().UnixNano()) * 2654435761 % uint64(c.cfg.jitter()))
+	skew := appkit.JitterDuration(c.cfg.jitter())
 	time.Sleep(skew)
 	c.mergeCount(worker, local)
 }

@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"cbreak/internal/harness"
+)
+
+// checkpointVersion is bumped on incompatible record-schema changes;
+// resume refuses mismatched versions rather than misreading records.
+const checkpointVersion = 1
+
+// Header is the first line of a checkpoint file. The seed is recorded
+// so -resume can refuse a checkpoint written under a different -seed:
+// mixing journaled trials from one seed with fresh trials from another
+// would silently corrupt the campaign's reproducibility.
+type Header struct {
+	Kind    string `json:"kind"` // always "campaign-checkpoint"
+	Version int    `json:"version"`
+	Seed    int64  `json:"seed"`
+}
+
+// Record is one journaled trial: its address, per-trial seed, how many
+// attempts it took (1 = no retries), and the full outcome including the
+// engine's guard incident counters and per-breakpoint stats snapshots.
+// One Record per line makes the journal greppable — e.g.
+// `grep '"panic"' campaign.jsonl` surfaces hardening regressions.
+type Record struct {
+	Key      harness.TrialKey     `json:"key"`
+	Trial    int                  `json:"trial"`
+	Seed     int64                `json:"seed"`
+	Attempts int                  `json:"attempts"`
+	Outcome  harness.TrialOutcome `json:"outcome"`
+}
+
+type recordKey struct {
+	key   harness.TrialKey
+	trial int
+}
+
+// Checkpoint is an append-only JSONL journal of completed trials.
+// Records are written (and reach the kernel) as each trial completes,
+// so a SIGINT or crash loses at most the trials still in flight; a
+// resumed campaign replays the journal and re-runs only what is
+// missing. Safe for concurrent use by pool workers.
+type Checkpoint struct {
+	mu     sync.Mutex
+	f      *os.File
+	header Header
+	done   map[recordKey]Record
+}
+
+// ErrSeedMismatch is returned when resuming a checkpoint written under
+// a different seed.
+var ErrSeedMismatch = errors.New("campaign: checkpoint seed does not match -seed")
+
+// Open creates (resume=false) or resumes (resume=true) the checkpoint
+// at path. Resuming a file that does not exist starts a fresh journal;
+// resuming one whose header seed differs from seed fails with
+// ErrSeedMismatch. Without resume an existing file is truncated.
+func Open(path string, seed int64, resume bool) (*Checkpoint, error) {
+	cp := &Checkpoint{
+		header: Header{Kind: "campaign-checkpoint", Version: checkpointVersion, Seed: seed},
+		done:   make(map[recordKey]Record),
+	}
+	if resume {
+		if err := cp.load(path, seed); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	cp.f = f
+	if !resume || len(cp.done) == 0 && cp.fileEmpty() {
+		if err := cp.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+func (c *Checkpoint) fileEmpty() bool {
+	info, err := c.f.Stat()
+	return err == nil && info.Size() == 0
+}
+
+func (c *Checkpoint) writeHeader() error {
+	line, err := json.Marshal(c.header)
+	if err != nil {
+		return err
+	}
+	_, err = c.f.Write(append(line, '\n'))
+	return err
+}
+
+// load replays an existing journal into the done index. A corrupt
+// trailing line (torn final write from a crash) is tolerated and
+// dropped; corruption anywhere else is an error.
+func (c *Checkpoint) load(path string, seed int64) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("campaign: resume checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineNo++
+		if len(line) == 0 {
+			continue
+		}
+		if lineNo == 1 {
+			var h Header
+			if err := json.Unmarshal(line, &h); err != nil || h.Kind != "campaign-checkpoint" {
+				return fmt.Errorf("campaign: %s is not a campaign checkpoint", path)
+			}
+			if h.Version != checkpointVersion {
+				return fmt.Errorf("campaign: checkpoint %s has version %d, this binary writes %d", path, h.Version, checkpointVersion)
+			}
+			if h.Seed != seed {
+				return fmt.Errorf("%w: checkpoint %s was written with seed %d, got -seed %d; re-run with -seed %d or start a fresh checkpoint",
+					ErrSeedMismatch, path, h.Seed, seed, h.Seed)
+			}
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line means the process died mid-write; that
+			// trial simply re-runs. Anything earlier is real corruption.
+			if !sc.Scan() {
+				break
+			}
+			return fmt.Errorf("campaign: corrupt checkpoint %s at line %d: %v", path, lineNo, err)
+		}
+		c.done[recordKey{rec.Key, rec.Trial}] = rec
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return fmt.Errorf("campaign: reading checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// Lookup returns the journaled record for (key, trial), if any.
+func (c *Checkpoint) Lookup(key harness.TrialKey, trial int) (Record, bool) {
+	if c == nil {
+		return Record{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.done[recordKey{key, trial}]
+	return rec, ok
+}
+
+// Append journals a completed trial. The line hits the file descriptor
+// before Append returns, so an interrupt after this point cannot lose
+// the trial.
+func (c *Checkpoint) Append(rec Record) error {
+	if c == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[recordKey{rec.Key, rec.Trial}] = rec
+	_, err = c.f.Write(append(line, '\n'))
+	return err
+}
+
+// Len returns how many trials the journal holds.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Close syncs and closes the journal file.
+func (c *Checkpoint) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	return err
+}

@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/harness"
+)
+
+func testRecord(row, trial int) Record {
+	return Record{
+		Key:      harness.TrialKey{Table: "test", Row: row, Variant: "with"},
+		Trial:    trial,
+		Seed:     int64(row*100 + trial),
+		Attempts: 1,
+		Outcome: harness.TrialOutcome{
+			Result: appkit.Result{Status: appkit.Stall, Detail: "lost wakeup", Elapsed: 3 * time.Millisecond, BPHit: true},
+			BPWait: time.Millisecond,
+			Incidents: map[string]int64{
+				"watchdog": 1,
+			},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := Open(path, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecord(0, 2)
+	if err := cp.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", re.Len())
+	}
+	got, ok := re.Lookup(want.Key, want.Trial)
+	if !ok {
+		t.Fatal("record not found after resume")
+	}
+	if got.Seed != want.Seed || got.Attempts != want.Attempts ||
+		got.Outcome.Result != want.Outcome.Result ||
+		got.Outcome.BPWait != want.Outcome.BPWait ||
+		got.Outcome.Incidents["watchdog"] != 1 {
+		t.Fatalf("resumed record = %+v, want %+v", got, want)
+	}
+}
+
+func TestCheckpointSeedMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := Open(path, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Append(testRecord(0, 0))
+	cp.Close()
+
+	_, err = Open(path, 8, true)
+	if !errors.Is(err, ErrSeedMismatch) {
+		t.Fatalf("resume with wrong seed: err = %v, want ErrSeedMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "seed 7") {
+		t.Fatalf("mismatch error should name the original seed: %v", err)
+	}
+}
+
+func TestCheckpointTornFinalLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := Open(path, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Append(testRecord(0, 0))
+	cp.Append(testRecord(0, 1))
+	cp.Close()
+	// Simulate a crash mid-write: a truncated record on the final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":{"table":"test","row":0,"varia`)
+	f.Close()
+
+	re, err := Open(path, 7, true)
+	if err != nil {
+		t.Fatalf("torn final line should be tolerated: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("Len = %d, want the 2 intact records", re.Len())
+	}
+}
+
+func TestCheckpointMidFileCorruptionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := Open(path, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Append(testRecord(0, 0))
+	cp.Close()
+	// Garbage with a valid record AFTER it: corruption mid-file, not a
+	// torn final write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not json at all\n")
+	f.WriteString(`{"key":{"table":"test","row":0,"variant":"with"},"trial":1,"seed":1,"attempts":1,"outcome":{"result":{"status":"ok","elapsed_ns":0,"bp_hit":false},"bp_wait_ns":0}}` + "\n")
+	f.Close()
+
+	if _, err := Open(path, 7, true); err == nil {
+		t.Fatal("mid-file corruption should be rejected, not silently skipped")
+	}
+}
+
+func TestCheckpointResumeMissingFileStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never-written.jsonl")
+	cp, err := Open(path, 7, true)
+	if err != nil {
+		t.Fatalf("resuming a missing checkpoint should start fresh: %v", err)
+	}
+	defer cp.Close()
+	if cp.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", cp.Len())
+	}
+	// The fresh file must still carry a header so a later resume works.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"campaign-checkpoint"`) {
+		t.Fatalf("fresh resume file missing header: %q", data)
+	}
+}
+
+func TestNilCheckpointIsSafe(t *testing.T) {
+	var cp *Checkpoint
+	if _, ok := cp.Lookup(harness.TrialKey{}, 0); ok {
+		t.Fatal("nil Lookup returned ok")
+	}
+	if err := cp.Append(Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 || cp.Close() != nil {
+		t.Fatal("nil Len/Close misbehaved")
+	}
+}

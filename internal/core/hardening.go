@@ -62,6 +62,19 @@ func (e *Engine) Incidents() []guard.Incident { return e.incidents.Snapshot() }
 // IncidentCount returns the monotonic total of incidents of one kind.
 func (e *Engine) IncidentCount(k guard.IncidentKind) int64 { return e.incidents.Count(k) }
 
+// IncidentCounts returns the monotonic incident totals keyed by kind
+// label, omitting zero counts. Campaign trial records embed this map so
+// campaign output doubles as a hardening observability artifact.
+func (e *Engine) IncidentCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for _, k := range guard.Kinds() {
+		if n := e.incidents.Count(k); n > 0 {
+			out[k.String()] = n
+		}
+	}
+	return out
+}
+
 func (e *Engine) recordIncident(k guard.IncidentKind, name string, gid uint64, detail string) {
 	e.incidents.Record(guard.Incident{Kind: k, Breakpoint: name, GID: gid, Detail: detail})
 }

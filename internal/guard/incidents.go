@@ -33,6 +33,17 @@ const (
 
 const incidentKindCount = int(KindBreakerRearm) + 1
 
+// Kinds returns every incident kind, in declaration order, for
+// consumers that aggregate counts across all kinds (campaign trial
+// records, metrics exporters).
+func Kinds() []IncidentKind {
+	out := make([]IncidentKind, incidentKindCount)
+	for i := range out {
+		out[i] = IncidentKind(i)
+	}
+	return out
+}
+
 // String returns the incident-kind label.
 func (k IncidentKind) String() string {
 	switch k {

@@ -12,6 +12,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,12 +31,21 @@ type RunFunc func(e *core.Engine, breakpoint bool, timeout time.Duration) appkit
 
 // Measurement aggregates repeated runs of one configuration.
 type Measurement struct {
-	Runs       int
-	Buggy      int // runs where the bug manifested
-	BPHits     int // runs where a breakpoint was hit
-	Statuses   map[appkit.Status]int
-	MeanTime   time.Duration // mean wall-clock of all runs
-	MedianTime time.Duration
+	// Runs is how many trials the measurement covers, including trials
+	// that never produced an application result.
+	Runs int
+	// Completed counts trials that produced an application result
+	// (infrastructure failures — timed-out or crashed trials — are
+	// excluded, so rates stay honest when a campaign degrades).
+	Completed int
+	Buggy     int // completed runs where the bug manifested
+	BPHits    int // completed runs where a breakpoint was hit
+	// InfraFailures counts trials lost to the harness itself: killed at
+	// the per-trial deadline or dead workers, after retries.
+	InfraFailures int
+	Statuses      map[appkit.Status]int
+	MeanTime      time.Duration // mean wall-clock of completed runs
+	MedianTime    time.Duration
 	// MeanTimeToError is the mean elapsed time of the buggy runs only
 	// (the paper's MTTE).
 	MeanTimeToError time.Duration
@@ -43,59 +53,95 @@ type Measurement struct {
 	// postponed at breakpoints — the overhead the section 6.3
 	// refinements cut.
 	MeanBPWait time.Duration
+	// Quarantined marks a configuration a campaign supervisor gave up
+	// on after K consecutive worker failures; the counters above cover
+	// only the trials that ran before quarantine.
+	Quarantined bool
 }
 
-// Probability returns the fraction of runs in which the bug manifested.
+// Probability returns the fraction of completed runs in which the bug
+// manifested.
 func (m Measurement) Probability() float64 {
-	if m.Runs == 0 {
+	if m.Completed == 0 {
 		return 0
 	}
-	return float64(m.Buggy) / float64(m.Runs)
+	return float64(m.Buggy) / float64(m.Completed)
 }
 
-// HitRate returns the fraction of runs in which a breakpoint was hit.
+// HitRate returns the fraction of completed runs in which a breakpoint
+// was hit.
 func (m Measurement) HitRate() float64 {
-	if m.Runs == 0 {
+	if m.Completed == 0 {
 		return 0
 	}
-	return float64(m.BPHits) / float64(m.Runs)
+	return float64(m.BPHits) / float64(m.Completed)
 }
 
-// Measure runs fn `runs` times with fresh engines and aggregates.
-func Measure(runs int, breakpoint bool, timeout time.Duration, fn RunFunc) Measurement {
-	m := Measurement{Runs: runs, Statuses: make(map[appkit.Status]int)}
-	var total time.Duration
-	var errTotal time.Duration
-	var waitTotal time.Duration
-	times := make([]time.Duration, 0, runs)
-	for i := 0; i < runs; i++ {
-		e := core.NewEngine()
-		if !breakpoint {
-			e.SetEnabled(false)
+// Partial reports whether the measurement is missing trials — the
+// configuration was quarantined or some trials were lost to
+// infrastructure failures — so tables can mark the row instead of
+// presenting degraded data as complete.
+func (m Measurement) Partial() bool {
+	return m.Quarantined || m.Completed < m.Runs
+}
+
+// Aggregate folds per-trial outcomes into a Measurement. It is the
+// single aggregation path shared by the in-process Measure and the
+// campaign supervisor's journal replay, which is what makes a resumed
+// campaign's tables byte-identical to an uninterrupted run's.
+func Aggregate(outs []TrialOutcome) Measurement {
+	m := Measurement{Runs: len(outs), Statuses: make(map[appkit.Status]int)}
+	var total, errTotal, waitTotal time.Duration
+	times := make([]time.Duration, 0, len(outs))
+	for _, o := range outs {
+		m.Statuses[o.Result.Status]++
+		if o.Result.Status.Infrastructure() {
+			m.InfraFailures++
+			continue
 		}
-		res := fn(e, breakpoint, timeout)
-		m.Statuses[res.Status]++
-		if res.Status.Buggy() {
+		m.Completed++
+		if o.Result.Status.Buggy() {
 			m.Buggy++
-			errTotal += res.Elapsed
+			errTotal += o.Result.Elapsed
 		}
-		if res.BPHit {
+		if o.Result.BPHit {
 			m.BPHits++
 		}
-		for _, snap := range e.SnapshotAll() {
-			waitTotal += snap.TotalWait
-		}
-		total += res.Elapsed
-		times = append(times, res.Elapsed)
+		waitTotal += o.BPWait
+		total += o.Result.Elapsed
+		times = append(times, o.Result.Elapsed)
 	}
-	m.MeanTime = total / time.Duration(runs)
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	m.MedianTime = times[runs/2]
+	if m.Completed > 0 {
+		m.MeanTime = total / time.Duration(m.Completed)
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		m.MedianTime = times[len(times)/2]
+		m.MeanBPWait = waitTotal / time.Duration(m.Completed)
+	}
 	if m.Buggy > 0 {
 		m.MeanTimeToError = errTotal / time.Duration(m.Buggy)
 	}
-	m.MeanBPWait = waitTotal / time.Duration(runs)
 	return m
+}
+
+// Measure runs fn `runs` times with fresh engines and aggregates. Each
+// trial executes in the calling goroutine with no deadline — the
+// historical behaviour; use MeasureCtx when a hung RunFunc must not
+// hang the caller.
+func Measure(runs int, breakpoint bool, timeout time.Duration, fn RunFunc) Measurement {
+	outs := make([]TrialOutcome, 0, runs)
+	for i := 0; i < runs; i++ {
+		outs = append(outs, RunTrial(TrialSpec{Breakpoint: breakpoint, Timeout: timeout, Run: fn}))
+	}
+	return Aggregate(outs)
+}
+
+// MeasureCtx is Measure with context cancellation and a hard per-trial
+// wall-clock deadline (0 = unbounded): a RunFunc that deadlocks is
+// abandoned at the deadline and counted as appkit.TrialTimeout instead
+// of wedging the measurement.
+func MeasureCtx(ctx context.Context, deadline time.Duration, runs int, breakpoint bool, timeout time.Duration, fn RunFunc) Measurement {
+	spec := TrialSpec{Runs: runs, Breakpoint: breakpoint, Timeout: timeout, Run: fn}
+	return InProcess(ctx, deadline, 0)(spec)
 }
 
 // DominantError returns the most frequent buggy status label, or "".

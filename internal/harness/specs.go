@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/apps/fig4"
+	"cbreak/internal/apps/log4j"
+	"cbreak/internal/core"
+)
+
+// This file enumerates every measurement configuration each table runs,
+// as addressable TrialSpecs. The table generators in tables.go render
+// from these lists, and campaign workers resolve a journaled TrialKey
+// back to runnable code with ResolveSpec — the two must agree, which is
+// why both are derived from the same builders.
+
+func table1Specs(runs int) []TrialSpec {
+	rows := Table1Rows()
+	specs := make([]TrialSpec, 0, 2*len(rows))
+	for i, row := range rows {
+		timeout := row.Timeout
+		if timeout == 0 {
+			timeout = ShortPause
+		}
+		label := row.Benchmark + "/" + row.BugLabel
+		specs = append(specs,
+			TrialSpec{Key: TrialKey{Table: "1", Row: i, Variant: VariantBase}, Label: label,
+				Runs: runs, Breakpoint: false, Timeout: timeout, Run: row.Run},
+			TrialSpec{Key: TrialKey{Table: "1", Row: i, Variant: VariantWith}, Label: label,
+				Runs: runs, Breakpoint: true, Timeout: timeout, Run: row.Run})
+	}
+	return specs
+}
+
+func table2Specs(runs int) []TrialSpec {
+	rows := Table2Rows()
+	specs := make([]TrialSpec, 0, len(rows))
+	for i, row := range rows {
+		specs = append(specs, TrialSpec{Key: TrialKey{Table: "2", Row: i, Variant: VariantWith},
+			Label: row.Benchmark, Runs: runs, Breakpoint: true, Timeout: ShortPause, Run: row.Run})
+	}
+	return specs
+}
+
+func log4jSpecs(runs int) []TrialSpec {
+	pairs := log4j.Section5Pairs()
+	specs := make([]TrialSpec, 0, len(pairs))
+	for i, pair := range pairs {
+		pair := pair
+		specs = append(specs, TrialSpec{Key: TrialKey{Table: "log4j", Row: i, Variant: VariantWith},
+			Label: "log4j/" + pair.String(), Runs: runs, Breakpoint: true, Timeout: ShortPause,
+			Run: func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
+				return log4j.Run(log4j.Config{Engine: e, Mode: log4j.ModeContention, Pair: pair,
+					Breakpoint: bp, Timeout: to, StallAfter: StallDeadline})
+			}})
+	}
+	return specs
+}
+
+func pauseSpecs(runs int) []TrialSpec {
+	points := pauseSweepPoints()
+	specs := make([]TrialSpec, 0, len(points))
+	for i, pt := range points {
+		specs = append(specs, TrialSpec{Key: TrialKey{Table: "pause", Row: i, Variant: VariantWith},
+			Label: pt.name, Runs: runs, Breakpoint: true, Timeout: pt.pause, Run: pt.run})
+	}
+	return specs
+}
+
+func precisionSpecs(runs int) []TrialSpec {
+	variants := PrecisionVariants()
+	specs := make([]TrialSpec, 0, len(variants))
+	for i, v := range variants {
+		specs = append(specs, TrialSpec{Key: TrialKey{Table: "precision", Row: i, Variant: VariantWith},
+			Label: v.Name, Runs: runs, Breakpoint: true, Timeout: ShortPause, Run: v.Run})
+	}
+	return specs
+}
+
+func modelSpecs(runs int) []TrialSpec {
+	fig4Run := func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
+		return fig4.Run(fig4.Config{Engine: e, Breakpoint: bp, Timeout: to})
+	}
+	return []TrialSpec{
+		{Key: TrialKey{Table: "model", Row: 0, Variant: VariantBase}, Label: "fig4",
+			Runs: runs, Breakpoint: false, Timeout: ShortPause, Run: fig4Run},
+		{Key: TrialKey{Table: "model", Row: 0, Variant: VariantWith}, Label: "fig4",
+			Runs: runs, Breakpoint: true, Timeout: LongPause, Run: fig4Run},
+	}
+}
+
+// TableSpecs returns every measurement configuration the named table
+// runs, in rendering order. Unknown tables return nil.
+func TableSpecs(table string, runs int) []TrialSpec {
+	switch table {
+	case "1":
+		return table1Specs(runs)
+	case "2":
+		return table2Specs(runs)
+	case "log4j":
+		return log4jSpecs(runs)
+	case "pause":
+		return pauseSpecs(runs)
+	case "precision":
+		return precisionSpecs(runs)
+	case "model":
+		return modelSpecs(runs)
+	}
+	return nil
+}
+
+// ResolveSpec resolves a trial key back to its runnable spec (with
+// Runs=1): this is how a campaign worker process turns the address it
+// was handed into the actual benchmark closure.
+func ResolveSpec(key TrialKey) (TrialSpec, bool) {
+	for _, s := range TableSpecs(key.Table, 1) {
+		if s.Key == key {
+			return s, true
+		}
+	}
+	return TrialSpec{}, false
+}

@@ -152,20 +152,37 @@ func raytracerRun(bug raytracer.Bug) RunFunc {
 	}
 }
 
+// defaultRunner is the classic in-process, no-deadline execution path.
+func defaultRunner() Runner { return InProcess(nil, 0, 0) }
+
+// partialMark appends the explicit partial-data marker to a row's first
+// cell when any of its measurements is missing trials (quarantined
+// configuration or infrastructure failures): degraded campaign rows
+// stay in the table, but never masquerade as complete data.
+func partialMark(cell string, ms ...Measurement) string {
+	for _, m := range ms {
+		if m.Partial() {
+			return cell + " (partial)"
+		}
+	}
+	return cell
+}
+
 // Table1 measures every row with and without breakpoints and renders the
 // paper's Table 1 columns.
-func Table1(runs int) Table {
+func Table1(runs int) Table { return Table1With(runs, defaultRunner()) }
+
+// Table1With is Table1 with a pluggable trial runner (e.g. a campaign
+// supervisor's subprocess-isolated runner).
+func Table1With(runs int, run Runner) Table {
 	t := Table{
 		Title:   "Table 1: Java benchmark results",
 		Headers: []string{"Benchmark", "Normal(s)", "w/ctr(s)", "Overhead", "Breakpoint", "Error", "Prob.", "Comments"},
 	}
-	for _, row := range Table1Rows() {
-		timeout := row.Timeout
-		if timeout == 0 {
-			timeout = ShortPause
-		}
-		base := Measure(runs, false, timeout, row.Run)
-		with := Measure(runs, true, timeout, row.Run)
+	specs := table1Specs(runs)
+	for i, row := range Table1Rows() {
+		base := run(specs[2*i])
+		with := run(specs[2*i+1])
 		// Stall rows report the stall-detection deadline as their
 		// runtime, so an overhead percentage is meaningless — the paper
 		// likewise omits runtimes for stalls ("we report the time that
@@ -175,7 +192,7 @@ func Table1(runs int) Table {
 			overhead = "-"
 		}
 		t.Rows = append(t.Rows, []string{
-			row.Benchmark,
+			partialMark(row.Benchmark, base, with),
 			fmtDur(base.MedianTime),
 			fmtDur(with.MedianTime),
 			overhead,
@@ -226,19 +243,23 @@ func Table2Rows() []struct {
 
 // Table2 measures the C/C++-analog rows: error kind, MTTE, and
 // breakpoint count.
-func Table2(runs int) Table {
+func Table2(runs int) Table { return Table2With(runs, defaultRunner()) }
+
+// Table2With is Table2 with a pluggable trial runner.
+func Table2With(runs int, run Runner) Table {
 	t := Table{
 		Title:   "Table 2: C/C++ benchmark results",
 		Headers: []string{"Benchmark", "Error", "MTTE(s)", "#CBR", "Reproduced", "Comments"},
 	}
-	for _, row := range Table2Rows() {
-		with := Measure(runs, true, ShortPause, row.Run)
+	specs := table2Specs(runs)
+	for i, row := range Table2Rows() {
+		with := run(specs[i])
 		t.Rows = append(t.Rows, []string{
-			row.Benchmark,
+			partialMark(row.Benchmark, with),
 			row.Error,
 			fmtDur(with.MeanTimeToError),
 			fmt.Sprintf("%d", row.CBRs),
-			fmt.Sprintf("%d/%d", with.Buggy, with.Runs),
+			fmt.Sprintf("%d/%d", with.Buggy, with.Completed),
 			row.Comments,
 		})
 	}
@@ -248,18 +269,23 @@ func Table2(runs int) Table {
 // Log4jTable reproduces the section 5 resolve-order table: for each of
 // the eight contention resolutions, the stall rate and breakpoint hit
 // rate over `runs` executions.
-func Log4jTable(runs int) Table {
+func Log4jTable(runs int) Table { return Log4jTableWith(runs, defaultRunner()) }
+
+// Log4jTableWith is Log4jTable with a pluggable trial runner.
+func Log4jTableWith(runs int, run Runner) Table {
 	t := Table{
 		Title:   "Section 5: log4j conflict resolve orders",
 		Headers: []string{"Conflict resolve order", "System stall (%)", "BP hit (%)"},
 	}
-	for _, pair := range log4j.Section5Pairs() {
-		m := Measure(runs, true, ShortPause, func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
-			return log4j.Run(log4j.Config{Engine: e, Mode: log4j.ModeContention, Pair: pair,
-				Breakpoint: bp, Timeout: to, StallAfter: StallDeadline})
-		})
-		stallPct := 100 * float64(m.Statuses[appkit.Stall]) / float64(m.Runs)
-		t.Rows = append(t.Rows, []string{pair.String(), fmtPct(stallPct), fmtPct(100 * m.HitRate())})
+	specs := log4jSpecs(runs)
+	for i, pair := range log4j.Section5Pairs() {
+		m := run(specs[i])
+		stallPct := 0.0
+		if m.Completed > 0 {
+			stallPct = 100 * float64(m.Statuses[appkit.Stall]) / float64(m.Completed)
+		}
+		t.Rows = append(t.Rows, []string{partialMark(pair.String(), m),
+			fmtPct(stallPct), fmtPct(100 * m.HitRate())})
 	}
 	return t
 }
@@ -269,12 +295,19 @@ func Log4jTable(runs int) Table {
 // Each benchmark sweeps pauses spanning its workload's jitter scale, so
 // the short end misses the rendezvous sometimes (the paper's 0.87 and
 // 0.63) and the long end essentially never does.
-func PauseSweep(runs int) Table {
-	t := Table{
-		Title:   "Section 6.2: pause time vs probability",
-		Headers: []string{"Benchmark", "Pause", "Prob.", "Runtime(s)"},
-	}
-	specs := []struct {
+func PauseSweep(runs int) Table { return PauseSweepWith(runs, defaultRunner()) }
+
+// pauseSweepPoint is one (benchmark, pause) cell of the sweep.
+type pauseSweepPoint struct {
+	name  string
+	pause time.Duration
+	run   RunFunc
+}
+
+// pauseSweepPoints flattens the sweep grid in rendering order, so
+// specs.go can address each cell by row index.
+func pauseSweepPoints() []pauseSweepPoint {
+	grid := []struct {
 		name   string
 		pauses []time.Duration
 		run    RunFunc
@@ -289,12 +322,26 @@ func PauseSweep(runs int) Table {
 					StallAfter: 2 * StallDeadline, EventJitter: 4 * time.Millisecond})
 			}},
 	}
-	for _, spec := range specs {
-		for _, pause := range spec.pauses {
-			m := Measure(runs, true, pause, spec.run)
-			t.Rows = append(t.Rows, []string{
-				spec.name, pause.String(), fmtProb(m.Probability()), fmtDur(m.MedianTime)})
+	var points []pauseSweepPoint
+	for _, g := range grid {
+		for _, pause := range g.pauses {
+			points = append(points, pauseSweepPoint{name: g.name, pause: pause, run: g.run})
 		}
+	}
+	return points
+}
+
+// PauseSweepWith is PauseSweep with a pluggable trial runner.
+func PauseSweepWith(runs int, run Runner) Table {
+	t := Table{
+		Title:   "Section 6.2: pause time vs probability",
+		Headers: []string{"Benchmark", "Pause", "Prob.", "Runtime(s)"},
+	}
+	specs := pauseSpecs(runs)
+	for i, pt := range pauseSweepPoints() {
+		m := run(specs[i])
+		t.Rows = append(t.Rows, []string{
+			partialMark(pt.name, m), pt.pause.String(), fmtProb(m.Probability()), fmtDur(m.MedianTime)})
 	}
 	return t
 }
@@ -335,14 +382,19 @@ func PrecisionVariants() []PrecisionVariant {
 // local-predicate refinements (ignoreFirst for cache4j, bound for
 // moldyn, isLockTypeHeld for swing), with the reproduction probability
 // alongside to show precision does not cost probability.
-func PrecisionAblation(runs int) Table {
+func PrecisionAblation(runs int) Table { return PrecisionAblationWith(runs, defaultRunner()) }
+
+// PrecisionAblationWith is PrecisionAblation with a pluggable trial
+// runner.
+func PrecisionAblationWith(runs int, run Runner) Table {
 	t := Table{
 		Title:   "Section 6.3: precision refinements",
 		Headers: []string{"Benchmark", "Refinement", "Prob.", "Runtime(s)", "BPWait(s)"},
 	}
-	for _, v := range PrecisionVariants() {
-		m := Measure(runs, true, ShortPause, v.Run)
-		t.Rows = append(t.Rows, []string{v.Name, v.Refinement,
+	specs := precisionSpecs(runs)
+	for i, v := range PrecisionVariants() {
+		m := run(specs[i])
+		t.Rows = append(t.Rows, []string{partialMark(v.Name, m), v.Refinement,
 			fmtProb(m.Probability()), fmtDur(m.MedianTime), fmtDur(m.MeanBPWait)})
 	}
 	return t
@@ -352,6 +404,13 @@ func PrecisionAblation(runs int) Table {
 // closed-form probabilities, their Monte Carlo validation, and the
 // empirical Figure 4 program with and without its breakpoint.
 func ModelTable(mcRuns, fig4Runs int) Table {
+	return ModelTableWith(mcRuns, fig4Runs, defaultRunner())
+}
+
+// ModelTableWith is ModelTable with a pluggable trial runner for its
+// empirical Figure 4 measurements (the closed-form and Monte Carlo rows
+// are deterministic and always computed in-process).
+func ModelTableWith(mcRuns, fig4Runs int, run Runner) Table {
 	t := Table{
 		Title:   "Section 3 / Figure 4: model vs measurement",
 		Headers: []string{"Quantity", "Value"},
@@ -366,15 +425,12 @@ func ModelTable(mcRuns, fig4Runs int) Table {
 		[]string{"Monte Carlo trigger", fmt.Sprintf("%.6f", prob.MonteCarloTrigger(n, mBig, m, tPause, mcRuns, 42))},
 		[]string{"improvement factor", fmt.Sprintf("%.1fx", prob.ImprovementFactor(n, mBig, m, tPause))},
 	)
-	noBP := Measure(fig4Runs, false, ShortPause, func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
-		return fig4.Run(fig4.Config{Engine: e, Breakpoint: bp, Timeout: to})
-	})
-	withBP := Measure(fig4Runs, true, LongPause, func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
-		return fig4.Run(fig4.Config{Engine: e, Breakpoint: bp, Timeout: to})
-	})
+	specs := modelSpecs(fig4Runs)
+	noBP := run(specs[0])
+	withBP := run(specs[1])
 	t.Rows = append(t.Rows,
-		[]string{"Figure 4 ERROR rate, no breakpoint", fmtProb(noBP.Probability())},
-		[]string{"Figure 4 ERROR rate, with breakpoint", fmtProb(withBP.Probability())},
+		[]string{partialMark("Figure 4 ERROR rate, no breakpoint", noBP), fmtProb(noBP.Probability())},
+		[]string{partialMark("Figure 4 ERROR rate, with breakpoint", withBP), fmtProb(withBP.Probability())},
 		[]string{"Figure 4 step-model P(read<write), N=200", fmt.Sprintf("%.4f", fig4.StepProbability(200, 5, mcRuns, 7))},
 	)
 	return t

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+)
+
+// TrialKey is the stable address of one measurement configuration: a
+// table, a row index within that table's spec list, and a variant
+// ("base" = breakpoints disabled, "with" = enabled). Campaign
+// supervisors journal trials by key and campaign workers resolve a key
+// back to runnable code with ResolveSpec, so a trial can be re-executed
+// in a different process than the one that scheduled it.
+type TrialKey struct {
+	Table   string `json:"table"`
+	Row     int    `json:"row"`
+	Variant string `json:"variant"`
+}
+
+// Trial variants.
+const (
+	// VariantBase runs with breakpoints disabled (the "Normal" columns).
+	VariantBase = "base"
+	// VariantWith runs with breakpoints enabled.
+	VariantWith = "with"
+)
+
+// String formats the key as table/row/variant.
+func (k TrialKey) String() string {
+	return fmt.Sprintf("%s/%d/%s", k.Table, k.Row, k.Variant)
+}
+
+// TrialSpec is one runnable measurement configuration: the key plus the
+// resolved in-process runner and its parameters.
+type TrialSpec struct {
+	// Key addresses the spec across processes.
+	Key TrialKey
+	// Label is the human-readable benchmark/bug name for logs.
+	Label string
+	// Runs is how many trials the measurement aggregates.
+	Runs int
+	// Breakpoint selects whether concurrent breakpoints are inserted.
+	Breakpoint bool
+	// Timeout is the breakpoint pause time T.
+	Timeout time.Duration
+	// Run executes one trial (not serialized; workers re-resolve it).
+	Run RunFunc
+}
+
+// TrialOutcome is the full record of one executed trial: the
+// application result plus the engine's observability snapshots, so
+// journaled campaign output doubles as a hardening artifact.
+type TrialOutcome struct {
+	// Result is the application outcome.
+	Result appkit.Result `json:"result"`
+	// BPWait is the trial's total time spent postponed at breakpoints.
+	BPWait time.Duration `json:"bp_wait_ns"`
+	// Stats holds the per-breakpoint counter snapshots at trial end.
+	Stats []core.StatsSnapshot `json:"stats,omitempty"`
+	// Incidents holds the guard incident totals (panics, stalls,
+	// watchdog releases, breaker transitions) keyed by kind label.
+	Incidents map[string]int64 `json:"incidents,omitempty"`
+}
+
+// outcomeFrom snapshots the engine's counters around a finished (or
+// abandoned) trial. Snapshots are atomic, so reading them while an
+// abandoned trial goroutine still runs is safe.
+func outcomeFrom(e *core.Engine, res appkit.Result) TrialOutcome {
+	out := TrialOutcome{Result: res, Stats: e.SnapshotAll(), Incidents: e.IncidentCounts()}
+	for _, s := range out.Stats {
+		out.BPWait += s.TotalWait
+	}
+	return out
+}
+
+// RunTrial executes one trial of the spec on a fresh engine with no
+// deadline, in the calling goroutine.
+func RunTrial(spec TrialSpec) TrialOutcome {
+	e := core.NewEngine()
+	if !spec.Breakpoint {
+		e.SetEnabled(false)
+	}
+	return outcomeFrom(e, spec.Run(e, spec.Breakpoint, spec.Timeout))
+}
+
+// RunTrialCtx executes one trial with a hard per-trial wall-clock
+// deadline (0 = unbounded) and context cancellation. The trial runs on
+// its own goroutine; if the deadline expires or ctx is cancelled first,
+// the goroutine is abandoned — exactly how appkit.RunWithDeadline
+// detects stalls — and the trial reports appkit.TrialTimeout with
+// best-effort engine snapshots. This is the in-process answer to a
+// RunFunc that hangs: Measure no longer blocks forever on it.
+func RunTrialCtx(ctx context.Context, deadline time.Duration, spec TrialSpec) TrialOutcome {
+	e := core.NewEngine()
+	if !spec.Breakpoint {
+		e.SetEnabled(false)
+	}
+	start := time.Now()
+	done := make(chan appkit.Result, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- appkit.Result{Status: appkit.Exception, Detail: fmt.Sprint(p), Elapsed: time.Since(start)}
+			}
+		}()
+		done <- spec.Run(e, spec.Breakpoint, spec.Timeout)
+	}()
+	var expire <-chan time.Time
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		expire = t.C
+	}
+	var cancelled <-chan struct{}
+	if ctx != nil {
+		cancelled = ctx.Done()
+	}
+	var res appkit.Result
+	select {
+	case res = <-done:
+	case <-expire:
+		res = appkit.Result{Status: appkit.TrialTimeout,
+			Detail: fmt.Sprintf("trial exceeded %s deadline", deadline), Elapsed: deadline}
+	case <-cancelled:
+		res = appkit.Result{Status: appkit.TrialTimeout,
+			Detail: "trial cancelled: " + ctx.Err().Error(), Elapsed: time.Since(start)}
+	}
+	return outcomeFrom(e, res)
+}
+
+// TrialSeed derives the deterministic per-trial seed from the campaign
+// seed and the trial's address, so trial N of a spec draws the same
+// jitter stream whether it runs in-process, in a worker, first time or
+// on a -resume.
+func TrialSeed(campaignSeed int64, key TrialKey, trial int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", key, trial)
+	return campaignSeed ^ int64(h.Sum64())
+}
+
+// Runner executes one measurement configuration (all of spec.Runs
+// trials) and aggregates it. Table generators take a Runner so the same
+// rendering code serves the classic in-process path and the supervised
+// subprocess campaigns of internal/campaign.
+type Runner func(spec TrialSpec) Measurement
+
+// InProcess returns the default Runner: trials execute in this process,
+// each bounded by the per-trial deadline (0 = unbounded). A non-zero
+// seed reseeds the appkit jitter stream with each trial's TrialSeed, so
+// an in-process run is trial-for-trial comparable with a supervised
+// campaign using the same seed.
+func InProcess(ctx context.Context, deadline time.Duration, seed int64) Runner {
+	return func(spec TrialSpec) Measurement {
+		outs := make([]TrialOutcome, 0, spec.Runs)
+		for i := 0; i < spec.Runs; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
+			if seed != 0 {
+				appkit.SeedJitter(TrialSeed(seed, spec.Key, i))
+			}
+			outs = append(outs, RunTrialCtx(ctx, deadline, spec))
+		}
+		return Aggregate(outs)
+	}
+}

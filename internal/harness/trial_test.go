@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+)
+
+func TestRunTrialCtxDeadlineAbandonsHungTrial(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	spec := TrialSpec{
+		Key: TrialKey{Table: "test", Row: 0, Variant: VariantWith},
+		Run: func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
+			<-hang
+			return appkit.Result{Status: appkit.OK}
+		},
+	}
+	start := time.Now()
+	out := RunTrialCtx(context.Background(), 30*time.Millisecond, spec)
+	if out.Result.Status != appkit.TrialTimeout {
+		t.Fatalf("status = %v, want TrialTimeout", out.Result.Status)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+func TestRunTrialCtxCancellation(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := RunTrialCtx(ctx, 0, TrialSpec{
+		Run: func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
+			<-hang
+			return appkit.Result{Status: appkit.OK}
+		},
+	})
+	if out.Result.Status != appkit.TrialTimeout {
+		t.Fatalf("status = %v, want TrialTimeout on cancellation", out.Result.Status)
+	}
+}
+
+func TestMeasureCtxDeadlineProducesPartialMeasurement(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	var calls atomic.Int32
+	m := MeasureCtx(context.Background(), 20*time.Millisecond, 3, true, time.Millisecond,
+		func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
+			if calls.Add(1) == 2 {
+				<-hang // trial 2 hangs; the deadline must rescue Measure
+			}
+			return appkit.Result{Status: appkit.TestFail, Elapsed: time.Millisecond, BPHit: true}
+		})
+	if m.Completed != 2 || m.InfraFailures != 1 {
+		t.Fatalf("completed/infra = %d/%d, want 2/1 (m=%+v)", m.Completed, m.InfraFailures, m)
+	}
+	if m.Statuses[appkit.TrialTimeout] != 1 {
+		t.Fatalf("statuses = %v", m.Statuses)
+	}
+	if !m.Partial() {
+		t.Fatal("a measurement with a timed-out trial must report Partial")
+	}
+}
+
+func TestAggregateExcludesInfrastructureFailures(t *testing.T) {
+	outs := []TrialOutcome{
+		{Result: appkit.Result{Status: appkit.TestFail, Elapsed: 10 * time.Millisecond, BPHit: true}, BPWait: time.Millisecond},
+		{Result: appkit.Result{Status: appkit.TrialTimeout, Elapsed: time.Hour}},
+		{Result: appkit.Result{Status: appkit.WorkerCrash}},
+		{Result: appkit.Result{Status: appkit.OK, Elapsed: 20 * time.Millisecond}},
+	}
+	m := Aggregate(outs)
+	if m.Runs != 4 || m.Completed != 2 || m.InfraFailures != 2 {
+		t.Fatalf("runs/completed/infra = %d/%d/%d", m.Runs, m.Completed, m.InfraFailures)
+	}
+	if m.Buggy != 1 {
+		t.Fatalf("buggy = %d, want 1 (infra failures are not bugs)", m.Buggy)
+	}
+	// The hour-long "elapsed" of the killed trial must not pollute timing.
+	if m.MeanTime != 15*time.Millisecond {
+		t.Fatalf("mean time = %v, want 15ms over completed trials only", m.MeanTime)
+	}
+	if m.Probability() != 0.5 || m.HitRate() != 0.5 {
+		t.Fatalf("probability/hitrate = %v/%v, want 0.5/0.5", m.Probability(), m.HitRate())
+	}
+	if !m.Partial() {
+		t.Fatal("want Partial: 2 of 4 scheduled trials completed")
+	}
+}
+
+func TestTrialSeedDeterministicAndDistinct(t *testing.T) {
+	k1 := TrialKey{Table: "1", Row: 0, Variant: VariantWith}
+	k2 := TrialKey{Table: "1", Row: 0, Variant: VariantBase}
+	if TrialSeed(7, k1, 3) != TrialSeed(7, k1, 3) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+	seen := map[int64]string{}
+	for _, k := range []TrialKey{k1, k2} {
+		for trial := 0; trial < 10; trial++ {
+			s := TrialSeed(7, k, trial)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s#%d and %s", k, trial, prev)
+			}
+			seen[s] = k.String()
+		}
+	}
+	if TrialSeed(7, k1, 0) == TrialSeed(8, k1, 0) {
+		t.Fatal("campaign seed does not influence trial seed")
+	}
+}
+
+func TestResolveSpecRoundTripsAllTables(t *testing.T) {
+	for _, table := range []string{"1", "2", "log4j", "pause", "precision", "model"} {
+		specs := TableSpecs(table, 1)
+		if len(specs) == 0 {
+			t.Fatalf("table %s has no specs", table)
+		}
+		for _, spec := range specs {
+			got, ok := ResolveSpec(spec.Key)
+			if !ok {
+				t.Fatalf("ResolveSpec(%s) not found", spec.Key)
+			}
+			if got.Key != spec.Key || got.Label != spec.Label ||
+				got.Breakpoint != spec.Breakpoint || got.Timeout != spec.Timeout {
+				t.Fatalf("ResolveSpec(%s) = %+v, want %+v", spec.Key, got, spec)
+			}
+			if got.Run == nil {
+				t.Fatalf("ResolveSpec(%s) has no Run", spec.Key)
+			}
+		}
+	}
+	if _, ok := ResolveSpec(TrialKey{Table: "nope", Row: 0, Variant: VariantWith}); ok {
+		t.Fatal("unknown table resolved")
+	}
+}
+
+func TestTableSpecsKeysAreUnique(t *testing.T) {
+	seen := map[TrialKey]bool{}
+	for _, table := range []string{"1", "2", "log4j", "pause", "precision", "model"} {
+		for _, spec := range TableSpecs(table, 1) {
+			if seen[spec.Key] {
+				t.Fatalf("duplicate trial key %s", spec.Key)
+			}
+			seen[spec.Key] = true
+			if spec.Key.Table != table {
+				t.Fatalf("spec key %s filed under table %s", spec.Key, table)
+			}
+		}
+	}
+}
+
+func TestQuarantinedRowRendersPartialMarker(t *testing.T) {
+	// A fake Runner quarantines every "with" variant; the rendered rows
+	// must carry the explicit partial-data marker.
+	run := func(spec TrialSpec) Measurement {
+		m := Measurement{Runs: spec.Runs}
+		if spec.Key.Variant == VariantWith {
+			m.Quarantined = true
+			m.InfraFailures = spec.Runs
+			m.Statuses = map[appkit.Status]int{appkit.WorkerCrash: spec.Runs}
+		} else {
+			m.Completed = spec.Runs
+			m.MeanTime = time.Millisecond
+			m.Statuses = map[appkit.Status]int{appkit.OK: spec.Runs}
+		}
+		return m
+	}
+	tbl := Table1With(2, run)
+	text := tbl.Render()
+	if !strings.Contains(text, "(partial)") {
+		t.Fatalf("quarantined rows missing partial marker:\n%s", text)
+	}
+}
