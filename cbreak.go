@@ -60,6 +60,11 @@ type (
 	Outcome = core.Outcome
 	// Engine is a breakpoint engine (postponed set + statistics).
 	Engine = core.Engine
+	// Breakpoint is a pre-resolved handle to one breakpoint: the
+	// per-call registry lookup is done once at Register time, so hot
+	// call sites pay only the arrival itself. Handles survive Reset by
+	// transparently re-resolving.
+	Breakpoint = core.Breakpoint
 	// BPStats carries per-breakpoint counters.
 	BPStats = core.BPStats
 	// ConflictTrigger is a same-object conflict (data race) breakpoint side.
@@ -104,6 +109,13 @@ func Enabled() bool { return core.Enabled() }
 
 // Reset clears the default engine's postponed set and statistics.
 func Reset() { core.Reset() }
+
+// Register returns a handle to the named breakpoint on the default
+// engine. Prefer handles over the string-keyed TriggerHere* calls on
+// hot paths: the handle caches the breakpoint's shard, so each arrival
+// skips the per-call registry lookup (see docs/USAGE.md, "Engine
+// architecture").
+func Register(name string) *Breakpoint { return core.Default().Breakpoint(name) }
 
 // TriggerHere announces that the caller reached one side of breakpoint t;
 // see core.Engine.TriggerHere. A zero timeout uses the engine default.

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cbreak/internal/core
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkEngineContention/K=1-4         	     100	       158.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineContention/K=8-4         	     100	       162.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineDisabled-4               	     100	        19.01 ns/op
+BenchmarkEngineRendezvous/K=1-4         	     100	      6829 ns/op	     488 B/op	       5 allocs/op
+BenchmarkThroughput-4                   	     100	       100 ns/op	      12.5 MB/s
+PASS
+ok  	cbreak/internal/core	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "cbreak/internal/core" {
+		t.Fatalf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	k8 := rep.Benchmarks[1]
+	if k8.Name != "BenchmarkEngineContention/K=8-4" || k8.Iterations != 100 ||
+		k8.NsPerOp != 162.6 || k8.BytesPerOp != 0 || k8.AllocsPerOp != 0 {
+		t.Fatalf("K=8 entry = %+v", k8)
+	}
+	rv := rep.Benchmarks[3]
+	if rv.NsPerOp != 6829 || rv.BytesPerOp != 488 || rv.AllocsPerOp != 5 {
+		t.Fatalf("rendezvous entry = %+v", rv)
+	}
+	tp := rep.Benchmarks[4]
+	if tp.Metrics["MB/s"] != 12.5 {
+		t.Fatalf("throughput metrics = %+v", tp.Metrics)
+	}
+}
+
+func TestParseSkipsNonBenchmarkLines(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok  \tcbreak/internal/core\t1.2s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-benchmark input", len(rep.Benchmarks))
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-4",                     // no iteration count
+		"BenchmarkX-4\tnope\t1 ns/op",      // non-numeric iterations
+		"BenchmarkX-4\t100\t1.5 ns/op 2.0", // dangling value
+		"BenchmarkX-4\t100\tx ns/op",       // non-numeric value
+	} {
+		if _, err := parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("parse accepted malformed line %q", bad)
+		}
+	}
+}

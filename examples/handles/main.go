@@ -1,0 +1,71 @@
+// Handles: the pre-resolved fast path for hot breakpoint sites.
+//
+// cbreak.Register resolves a breakpoint's name once into a handle;
+// handle.Trigger then skips the per-call registry lookup. This demo
+// shows the three contracts that matter in practice: handles and
+// string-keyed calls rendezvous with each other, disabled handles are
+// no-ops, and handles transparently survive Reset (while previously
+// obtained stats freeze at the old generation's values).
+//
+//	go run ./examples/handles
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cbreak"
+)
+
+// hotBP is resolved once at init — the recommended shape for a site
+// that fires on every request.
+var hotBP = cbreak.Register("handles.demo")
+
+func rendezvous() (handleHit, stringHit bool) {
+	obj := new(int)
+	opts := cbreak.Options{Timeout: 500 * time.Millisecond}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Second side arrives through the classic string-keyed API:
+		// same name, same breakpoint, no handle required.
+		stringHit = cbreak.TriggerHereOpts(cbreak.NewConflictTrigger("handles.demo", obj), false, opts)
+	}()
+	handleHit = hotBP.Trigger(cbreak.NewConflictTrigger("handles.demo", obj), true, opts)
+	wg.Wait()
+	return handleHit, stringHit
+}
+
+func main() {
+	cbreak.SetEnabled(true)
+	cbreak.Reset()
+
+	// 1. A handle arrival and a string-keyed arrival match each other.
+	h, s := rendezvous()
+	fmt.Printf("mixed-API rendezvous: handle side hit=%v, string side hit=%v\n", h, s)
+	fmt.Printf("stats after one hit: hits=%d arrivals=%d\n",
+		hotBP.Stats().Hits(), hotBP.Stats().Arrivals())
+
+	// 2. Disabled, the handle is a no-op: no pause, no match, no counts.
+	cbreak.SetEnabled(false)
+	missed := 0
+	for i := 0; i < 1000; i++ {
+		if !hotBP.Trigger(cbreak.NewConflictTrigger("handles.demo", new(int)), true, cbreak.Options{}) {
+			missed++
+		}
+	}
+	fmt.Printf("disabled: 1000 calls, %d no-ops, hits still %d\n", missed, hotBP.Stats().Hits())
+	cbreak.SetEnabled(true)
+
+	// 3. Reset retires the breakpoint's state; the handle re-resolves on
+	// its next use, while a stats pointer taken before the Reset stays
+	// frozen at the old generation's final values.
+	old := hotBP.Stats()
+	cbreak.Reset()
+	h, s = rendezvous()
+	fmt.Printf("post-Reset rendezvous: handle side hit=%v, string side hit=%v\n", h, s)
+	fmt.Printf("old stats frozen at hits=%d; fresh stats hits=%d\n",
+		old.Hits(), hotBP.Stats().Hits())
+}

@@ -120,7 +120,7 @@ func (c *Cache) Put(key string, value int64) *CacheObject {
 	// trigger carries the object, so only a reader of this same object
 	// matches (the paper's t1.sb == t2.this predicate).
 	if c.cfg.bug(Atomicity1) {
-		c.cfg.Engine.TriggerHere(core.NewAtomicityTrigger(BPAtomicity, obj), false,
+		c.cfg.handle().Trigger(core.NewAtomicityTrigger(BPAtomicity, obj), false,
 			core.Options{Timeout: c.cfg.Timeout, IgnoreFirst: c.cfg.IgnoreFirst, Bound: 1})
 	}
 	obj.Expiry.Store("cache.go:put.expiry", c.now()+1_000_000)
@@ -145,7 +145,7 @@ func (c *Cache) Get(key string) (*CacheObject, bool) {
 		// objects: only a zero expiry (mid-construction) is a
 		// breakpoint state. This is a precision refinement in the
 		// sense of section 6.3 — it shrinks M without changing m.
-		c.cfg.Engine.TriggerHereAnd(core.NewAtomicityTrigger(BPAtomicity, obj), true,
+		c.cfg.handle().TriggerAnd(core.NewAtomicityTrigger(BPAtomicity, obj), true,
 			core.Options{
 				Timeout:    c.cfg.Timeout,
 				Bound:      1,
@@ -174,7 +174,7 @@ func (c *Cache) recordHit() {
 		if p := c.cfg.race1Pending; p != nil {
 			opts.ExtraLocal = func() bool { return p.Load("cache.go:pending") != 0 }
 		}
-		c.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPRace1, c.hits), false, opts)
+		c.cfg.handle().Trigger(core.NewConflictTrigger(BPRace1, c.hits), false, opts)
 	}
 	c.hits.Store("cache.go:get.hits.write", v+1)
 }
@@ -183,7 +183,7 @@ func (c *Cache) recordHit() {
 func (c *Cache) ResetStats() {
 	reset := func() { c.hits.Store("cache.go:resetStats", 0) }
 	if c.cfg.bug(Race1) {
-		c.cfg.Engine.TriggerHereAnd(core.NewConflictTrigger(BPRace1, c.hits), true,
+		c.cfg.handle().TriggerAnd(core.NewConflictTrigger(BPRace1, c.hits), true,
 			core.Options{Timeout: c.cfg.Timeout, Bound: 1}, reset)
 	} else {
 		reset()
@@ -217,7 +217,7 @@ func (c *Cache) sizeAdd(delta int64, site string) {
 		if !first {
 			opts.IgnoreFirst = c.cfg.IgnoreFirst
 		}
-		c.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPRace3, c.size), first, opts)
+		c.cfg.handle().Trigger(core.NewConflictTrigger(BPRace3, c.size), first, opts)
 	}
 	c.size.Store(site+".write", v+delta)
 }
@@ -262,7 +262,7 @@ func (c *Cache) maybeEvict() {
 		if hot := c.cfg.race2Hot; hot != nil {
 			opts.ExtraLocal = func() bool { return victim == hot }
 		}
-		c.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPRace2, victim.LastAccess), false, opts)
+		c.cfg.handle().Trigger(core.NewConflictTrigger(BPRace2, victim.LastAccess), false, opts)
 	}
 	var removed, hot bool
 	c.mu.WithAt("cache.go:evict.remove", func() {
@@ -286,7 +286,7 @@ func (c *Cache) maybeEvict() {
 func (c *Cache) touchForRace2(obj *CacheObject) {
 	touch := func() { obj.LastAccess.Store("cache.go:get.touch2", c.now()) }
 	if c.cfg.bug(Race2) {
-		c.cfg.Engine.TriggerHereAnd(core.NewConflictTrigger(BPRace2, obj.LastAccess), true,
+		c.cfg.handle().TriggerAnd(core.NewConflictTrigger(BPRace2, obj.LastAccess), true,
 			core.Options{Timeout: c.cfg.Timeout, Bound: 1}, touch)
 	} else {
 		touch()
@@ -327,6 +327,20 @@ type Config struct {
 	// race1Pending gates the reader side of race1 to the reset window
 	// (set by Run).
 	race1Pending *memory.Cell
+	// bp is the run's breakpoint handle (each run exercises one bug, so
+	// one handle covers every site), resolved once by Run.
+	bp *core.Breakpoint
+}
+
+// handle returns the run's breakpoint handle. Configs built directly
+// (tests driving Cache methods without Run) fall back to per-call
+// resolution; the fallback deliberately does not cache, so concurrent
+// callers never race on the field.
+func (c *Config) handle() *core.Breakpoint {
+	if bp := c.bp; bp != nil {
+		return bp
+	}
+	return c.Engine.Breakpoint(bpName(c.Bug))
 }
 
 func (c *Config) bug(b Bug) bool {
@@ -367,6 +381,7 @@ func Run(cfg Config) appkit.Result {
 	if cfg.Engine == nil {
 		cfg.Engine = core.NewEngine()
 	}
+	cfg.bp = cfg.Engine.Breakpoint(bpName(cfg.Bug))
 	cache := NewCache(1<<30, &cfg) // effectively unbounded unless race2
 	warm := cfg.warmup()
 	if cfg.Bug == Race3 && cfg.Breakpoint && cfg.IgnoreFirst == 0 {

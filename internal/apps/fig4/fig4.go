@@ -51,6 +51,10 @@ type Config struct {
 	// Work is the length of foo's synchronized block, in busy-work
 	// iterations (the f1()..f5() calls; default 50000).
 	Work int
+
+	// bp is the breakpoint handle, resolved once per run so the trigger
+	// sites skip the per-call registry lookup.
+	bp *core.Breakpoint
 }
 
 func (c *Config) work() int {
@@ -76,7 +80,7 @@ func foo(o *XObject, cfg *Config, sink *int64) bool {
 	}) // line 7
 	if cfg.Breakpoint {
 		// Line 8 side: the check must execute before line 10's write.
-		cfg.Engine.TriggerHere(core.NewConflictTrigger(BPName, o), true,
+		cfg.bp.Trigger(core.NewConflictTrigger(BPName, o), true,
 			core.Options{Timeout: cfg.Timeout})
 	}
 	if o.X.Load("fig4:8") == 0 { // line 8
@@ -89,7 +93,7 @@ func foo(o *XObject, cfg *Config, sink *int64) bool {
 func bar(o *XObject, cfg *Config, sink *int64) {
 	if cfg.Breakpoint {
 		// Line 10 side: postponed until thread1 reaches line 8.
-		cfg.Engine.TriggerHere(core.NewConflictTrigger(BPName, o), false,
+		cfg.bp.Trigger(core.NewConflictTrigger(BPName, o), false,
 			core.Options{Timeout: cfg.Timeout})
 	}
 	o.X.Store("fig4:10", 1) // line 10
@@ -104,6 +108,7 @@ func Run(cfg Config) appkit.Result {
 	if cfg.Engine == nil {
 		cfg.Engine = core.NewEngine()
 	}
+	cfg.bp = cfg.Engine.Breakpoint(BPName)
 	o := NewXObject()
 	var sink1, sink2 int64
 	res := appkit.RunWithDeadline(60*time.Second, func() appkit.Result {

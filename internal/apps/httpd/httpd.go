@@ -66,7 +66,7 @@ func NewAccessLog(size int, cfg *Config) *AccessLog {
 func (l *AccessLog) Append(line string, worker int) {
 	off := l.off.Load("httpd:log.off.read")
 	if l.cfg.bugCorrupt() {
-		l.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPLogOffset, l.off), worker == 0,
+		l.cfg.bpLogOffset().Trigger(core.NewConflictTrigger(BPLogOffset, l.off), worker == 0,
 			core.Options{Timeout: l.cfg.Timeout, Bound: 1})
 	}
 	l.off.Store("httpd:log.off.write", off+int64(len(line)))
@@ -152,7 +152,7 @@ func (s *Server) Handle(req Request, worker int) (err error) {
 	// Capacity check against the (possibly stale) capacity field.
 	capNow := s.conn.capacity.Load("httpd:cap.check")
 	if s.cfg.bugCrash() && req.Big {
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPAlign, s.conn), true,
+		s.cfg.bpAlign().Trigger(core.NewConflictTrigger(BPAlign, s.conn), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	if int64(len(resp)) > capNow {
@@ -161,7 +161,7 @@ func (s *Server) Handle(req Request, worker int) (err error) {
 	if s.cfg.bugCrash() && req.Big {
 		// cbr2 second side: the reload's backing swap is ordered into
 		// the window between the capacity check and the write.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPSwap, s.conn.backing), false,
+		s.cfg.bpSwap().Trigger(core.NewConflictTrigger(BPSwap, s.conn.backing), false,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	backing := s.conn.backing.Load("httpd:backing.load")
@@ -175,7 +175,7 @@ func (s *Server) Handle(req Request, worker int) (err error) {
 	if s.cfg.bugCrash() && req.Big {
 		// cbr3: order this write before the reload's capacity-field
 		// update, keeping the stale capacity in force.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPStaleCap, s.conn.capacity), true,
+		s.cfg.bpStaleCap().Trigger(core.NewConflictTrigger(BPStaleCap, s.conn.capacity), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	s.served.AtomicAdd("httpd:served", 1)
@@ -188,17 +188,17 @@ func (s *Server) Handle(req Request, worker int) (err error) {
 // the overflow window.
 func (s *Server) Reload(newSize int) {
 	if s.cfg.bugCrash() {
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPAlign, s.conn), false,
+		s.cfg.bpAlign().Trigger(core.NewConflictTrigger(BPAlign, s.conn), false,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	nb := make([]byte, newSize)
 	swap := func() { s.conn.backing.Store("httpd:backing.swap", &nb) }
 	if s.cfg.bugCrash() {
-		s.cfg.Engine.TriggerHereAnd(core.NewConflictTrigger(BPSwap, s.conn.backing), true,
+		s.cfg.bpSwap().TriggerAnd(core.NewConflictTrigger(BPSwap, s.conn.backing), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1}, swap)
 		// cbr3 second side: the capacity update waits for the worker's
 		// write.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPStaleCap, s.conn.capacity), false,
+		s.cfg.bpStaleCap().Trigger(core.NewConflictTrigger(BPStaleCap, s.conn.capacity), false,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	} else {
 		swap()
@@ -223,6 +223,56 @@ type Config struct {
 	Timeout    time.Duration
 	// Requests is the client load (default 60).
 	Requests int
+
+	// bps caches the run's breakpoint handles, resolved once in Run so
+	// the trigger sites skip the per-call registry lookup. Left nil when
+	// a Config is built directly (tests); the accessors then resolve per
+	// call rather than populating the cache lazily, because httpd's
+	// workers race by design and a lazy write would add an unrelated
+	// data race on the Config itself.
+	bps *bpHandles
+}
+
+// bpHandles bundles one handle per httpd breakpoint.
+type bpHandles struct {
+	logOffset, align, swap, staleCap *core.Breakpoint
+}
+
+func (c *Config) resolveHandles() {
+	c.bps = &bpHandles{
+		logOffset: c.Engine.Breakpoint(BPLogOffset),
+		align:     c.Engine.Breakpoint(BPAlign),
+		swap:      c.Engine.Breakpoint(BPSwap),
+		staleCap:  c.Engine.Breakpoint(BPStaleCap),
+	}
+}
+
+func (c *Config) bpLogOffset() *core.Breakpoint {
+	if h := c.bps; h != nil {
+		return h.logOffset
+	}
+	return c.Engine.Breakpoint(BPLogOffset)
+}
+
+func (c *Config) bpAlign() *core.Breakpoint {
+	if h := c.bps; h != nil {
+		return h.align
+	}
+	return c.Engine.Breakpoint(BPAlign)
+}
+
+func (c *Config) bpSwap() *core.Breakpoint {
+	if h := c.bps; h != nil {
+		return h.swap
+	}
+	return c.Engine.Breakpoint(BPSwap)
+}
+
+func (c *Config) bpStaleCap() *core.Breakpoint {
+	if h := c.bps; h != nil {
+		return h.staleCap
+	}
+	return c.Engine.Breakpoint(BPStaleCap)
 }
 
 func (c *Config) bugCorrupt() bool {
@@ -246,6 +296,7 @@ func Run(cfg Config) appkit.Result {
 	if cfg.Engine == nil {
 		cfg.Engine = core.NewEngine()
 	}
+	cfg.resolveHandles()
 	srv := NewServer(&cfg)
 	res := appkit.RunWithDeadline(60*time.Second, func() appkit.Result {
 		errCh := make(chan error, 2)

@@ -358,20 +358,20 @@ func (s *Server) insert(session int, table, value, stmt string) (int64, error) {
 	if s.cfg.bug(LogOmission) {
 		// cbr1: the apply is ordered before the rotation snapshot, so
 		// the row exists but its record is not yet in the log.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPOmitApply, s.binlog), true,
+		s.cfg.bpOmitApply().Trigger(core.NewConflictTrigger(BPOmitApply, s.binlog), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	if s.cfg.bug(LogDisorder) {
 		// One CBR: the later committer's append is ordered before the
 		// earlier committer's.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPDisorder, s.binlog), session == 2,
+		s.cfg.bpDisorder().Trigger(core.NewConflictTrigger(BPDisorder, s.binlog), session == 2,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	append := func() { s.binlog.Append(LogRecord{LSN: lsn, SQL: stmt}) }
 	if s.cfg.bug(LogOmission) {
 		// cbr2: the append is ordered before the rotation truncate —
 		// landing in the segment the truncate is about to discard.
-		s.cfg.Engine.TriggerHereAnd(core.NewConflictTrigger(BPOmitAppend, s.binlog), true,
+		s.cfg.bpOmitAppend().TriggerAnd(core.NewConflictTrigger(BPOmitAppend, s.binlog), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1}, append)
 	} else {
 		append()
@@ -415,14 +415,14 @@ func (s *Server) count(table string, filter func(Row) bool) (int64, error) {
 func (s *Server) FlushLogs() {
 	if s.cfg.bug(LogOmission) {
 		// cbr1 second side: wait for the committer's apply.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPOmitApply, s.binlog), false,
+		s.cfg.bpOmitApply().Trigger(core.NewConflictTrigger(BPOmitApply, s.binlog), false,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	snap := s.binlog.snapshot()
 	if s.cfg.bug(LogOmission) {
 		// cbr2 second side: let the committer's append land before the
 		// truncate discards the segment.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPOmitAppend, s.binlog), false,
+		s.cfg.bpOmitAppend().Trigger(core.NewConflictTrigger(BPOmitAppend, s.binlog), false,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	s.binlog.truncate(snap)
@@ -439,7 +439,7 @@ func (s *Server) DelayedInsert(table, value string) (err error) {
 		}
 	}()
 	if s.cfg.bug(ServerCrash) {
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashAlign, s), true,
+		s.cfg.bpCrashAlign().Trigger(core.NewConflictTrigger(BPCrashAlign, s), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	t := s.lookup(table)
@@ -448,7 +448,7 @@ func (s *Server) DelayedInsert(table, value string) (err error) {
 	}
 	if s.cfg.bug(ServerCrash) {
 		// cbr3: keep the catalog entry visible until after this lookup.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashHide, s.mu), true,
+		s.cfg.bpCrashHide().Trigger(core.NewConflictTrigger(BPCrashHide, s.mu), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	if t.dropped.Load("mysql:delayed.check") != 0 {
@@ -457,7 +457,7 @@ func (s *Server) DelayedInsert(table, value string) (err error) {
 	if s.cfg.bug(ServerCrash) {
 		// cbr2 second side: the DROP's free lands between the check and
 		// the use.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashFree, t.storage), false,
+		s.cfg.bpCrashFree().Trigger(core.NewConflictTrigger(BPCrashFree, t.storage), false,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	lsn := s.nextLSN.AtomicAdd("mysql:lsn", 1)
@@ -473,7 +473,7 @@ func (s *Server) DelayedInsert(table, value string) (err error) {
 // concurrent delayed insert.
 func (s *Server) dropTable(name string) error {
 	if s.cfg.bug(ServerCrash) {
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashAlign, s), false,
+		s.cfg.bpCrashAlign().Trigger(core.NewConflictTrigger(BPCrashAlign, s), false,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	t := s.lookup(name)
@@ -482,7 +482,7 @@ func (s *Server) dropTable(name string) error {
 	}
 	if s.cfg.bug(ServerCrash) {
 		// cbr3 second side: the removal waits for the handler's lookup.
-		s.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPCrashHide, s.mu), false,
+		s.cfg.bpCrashHide().Trigger(core.NewConflictTrigger(BPCrashHide, s.mu), false,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
 	t.dropped.Store("mysql:drop.flag", 1)
@@ -490,7 +490,7 @@ func (s *Server) dropTable(name string) error {
 	free := func() { t.storage.Store("mysql:drop.free", nil) }
 	if s.cfg.bug(ServerCrash) {
 		// cbr2 first side: the free executes before the handler's use.
-		s.cfg.Engine.TriggerHereAnd(core.NewConflictTrigger(BPCrashFree, t.storage), true,
+		s.cfg.bpCrashFree().TriggerAnd(core.NewConflictTrigger(BPCrashFree, t.storage), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1}, free)
 	} else {
 		free()
@@ -514,6 +514,62 @@ type Config struct {
 	Bug        Bug
 	Breakpoint bool
 	Timeout    time.Duration
+
+	// bps caches the run's breakpoint handles, resolved once in Run so
+	// the trigger sites skip the per-call registry lookup. Left nil when
+	// a Config is built directly (tests); the accessors then resolve per
+	// call rather than populating the cache lazily, because the scenario
+	// goroutines race by design and a lazy write would add an unrelated
+	// data race on the Config itself.
+	bps *bpHandles
+}
+
+// bpHandles bundles one handle per mysql breakpoint.
+type bpHandles struct {
+	omitApply, omitAppend, disorder  *core.Breakpoint
+	crashAlign, crashFree, crashHide *core.Breakpoint
+}
+
+func (c *Config) resolveHandles() {
+	c.bps = &bpHandles{
+		omitApply:  c.Engine.Breakpoint(BPOmitApply),
+		omitAppend: c.Engine.Breakpoint(BPOmitAppend),
+		disorder:   c.Engine.Breakpoint(BPDisorder),
+		crashAlign: c.Engine.Breakpoint(BPCrashAlign),
+		crashFree:  c.Engine.Breakpoint(BPCrashFree),
+		crashHide:  c.Engine.Breakpoint(BPCrashHide),
+	}
+}
+
+func (c *Config) handle(cached func(*bpHandles) *core.Breakpoint, name string) *core.Breakpoint {
+	if h := c.bps; h != nil {
+		return cached(h)
+	}
+	return c.Engine.Breakpoint(name)
+}
+
+func (c *Config) bpOmitApply() *core.Breakpoint {
+	return c.handle(func(h *bpHandles) *core.Breakpoint { return h.omitApply }, BPOmitApply)
+}
+
+func (c *Config) bpOmitAppend() *core.Breakpoint {
+	return c.handle(func(h *bpHandles) *core.Breakpoint { return h.omitAppend }, BPOmitAppend)
+}
+
+func (c *Config) bpDisorder() *core.Breakpoint {
+	return c.handle(func(h *bpHandles) *core.Breakpoint { return h.disorder }, BPDisorder)
+}
+
+func (c *Config) bpCrashAlign() *core.Breakpoint {
+	return c.handle(func(h *bpHandles) *core.Breakpoint { return h.crashAlign }, BPCrashAlign)
+}
+
+func (c *Config) bpCrashFree() *core.Breakpoint {
+	return c.handle(func(h *bpHandles) *core.Breakpoint { return h.crashFree }, BPCrashFree)
+}
+
+func (c *Config) bpCrashHide() *core.Breakpoint {
+	return c.handle(func(h *bpHandles) *core.Breakpoint { return h.crashHide }, BPCrashHide)
 }
 
 func (c *Config) bug(b Bug) bool {
@@ -526,6 +582,7 @@ func Run(cfg Config) appkit.Result {
 	if cfg.Engine == nil {
 		cfg.Engine = core.NewEngine()
 	}
+	cfg.resolveHandles()
 	srv := NewServer(&cfg)
 	srv.CreateTable("t1")
 	res := appkit.RunWithDeadline(60*time.Second, func() appkit.Result {

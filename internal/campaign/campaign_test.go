@@ -25,7 +25,7 @@ func wedgedSpec(key harness.TrialKey, runs int) harness.TrialSpec {
 		Key: key, Label: "wedged", Runs: runs, Breakpoint: true, Timeout: 5 * time.Millisecond,
 		Run: func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
 			e.SetInjector(faultinject.NewPlan().WedgeWait("wedge.bp", faultinject.BothSides))
-			e.TriggerHere(core.NewConflictTrigger("wedge.bp", &struct{}{}), true, core.Options{Timeout: to})
+			e.Breakpoint("wedge.bp").Trigger(core.NewConflictTrigger("wedge.bp", &struct{}{}), true, core.Options{Timeout: to})
 			return appkit.Result{Status: appkit.OK}
 		},
 	}

@@ -29,7 +29,7 @@ func TestServeTrialRoundTrip(t *testing.T) {
 			Run: func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
 				// Arm one breakpoint (single arrival, times out) so the
 				// outcome carries real engine stats.
-				e.TriggerHere(core.NewConflictTrigger("rt.bp", &struct{}{}), true,
+				e.Breakpoint("rt.bp").Trigger(core.NewConflictTrigger("rt.bp", &struct{}{}), true,
 					core.Options{Timeout: time.Millisecond})
 				return appkit.Result{Status: appkit.TestFail, Detail: "assert", Elapsed: 5 * time.Millisecond, BPHit: bp}
 			},

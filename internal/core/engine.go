@@ -13,6 +13,12 @@ import (
 // postponed goroutines, matches arriving triggers against it, and
 // enforces the ordering action of a hit breakpoint.
 //
+// State is sharded per breakpoint name (shard.go): each breakpoint owns
+// its own mutex, postponed lists, statistics, circuit breaker, and
+// event ring, so arrivals on unrelated breakpoints never contend.
+// Shards are resolved through a lock-free registry and can be pinned on
+// a Breakpoint handle (handle.go) to skip even the registry lookup.
+//
 // An Engine is safe for concurrent use. The zero value is not usable;
 // create engines with NewEngine. Most programs use the package-level
 // default engine through the cbreak facade.
@@ -29,20 +35,21 @@ type Engine struct {
 	// first side's next instruction time to execute first.
 	OrderWindow time.Duration
 
-	mu        sync.Mutex
-	postponed map[string][]*waiter
-	multi     map[string][]*mwaiter // N-way breakpoints (multi.go)
-	stats     map[string]*BPStats
-	breakers  map[string]*guard.Breaker // per-breakpoint circuit breakers
-	seq       uint64                    // arrival sequence, for deterministic matching order
+	// registry maps breakpoint name → *bpState. Reset swaps the whole
+	// map atomically and retires the old shards, which is why the
+	// pointer indirection exists (see shard.go).
+	registry atomic.Pointer[sync.Map]
 
-	events eventLog // bounded event history + hit callback (events.go)
+	seq      atomic.Uint64 // arrival sequence, for deterministic matching order
+	eventSeq atomic.Uint64 // global event sequence; orders the merged Events() view
+	onHit    atomic.Pointer[onHitBox]
 
 	// Hardening layer (hardening.go): incident log, circuit-breaker
 	// configuration, fault injector, action-panic policy, watchdog.
 	incidents           guard.IncidentLog
 	breakerCfg          atomic.Pointer[guard.BreakerConfig]
-	injector            atomic.Value // *injectorBox
+	brEpoch             atomic.Uint64 // bumped by SetBreakerConfig; shards rebuild lazily
+	injector            atomic.Value  // *injectorBox
 	isolateActionPanics atomic.Bool
 
 	wdMu   sync.Mutex
@@ -59,11 +66,8 @@ func NewEngine() *Engine {
 	e := &Engine{
 		DefaultTimeout: 100 * time.Millisecond,
 		OrderWindow:    100 * time.Microsecond,
-		postponed:      make(map[string][]*waiter),
-		multi:          make(map[string][]*mwaiter),
-		stats:          make(map[string]*BPStats),
-		breakers:       make(map[string]*guard.Breaker),
 	}
+	e.registry.Store(new(sync.Map))
 	e.enabled.Store(true)
 	return e
 }
@@ -76,33 +80,20 @@ func (e *Engine) SetEnabled(v bool) { e.enabled.Store(v) }
 // Enabled reports whether the engine is active.
 func (e *Engine) Enabled() bool { return e.enabled.Load() }
 
-// Reset discards all postponed waiters and statistics. Any currently
-// postponed goroutines are released with a timeout outcome.
+// Reset discards all postponed waiters, statistics, breaker state, and
+// event history. Any currently postponed goroutines are released with a
+// timeout outcome. Reset swaps in a fresh shard registry and retires
+// the old shards one at a time — there is no stop-the-world lock, and
+// arrivals racing with Reset land on either the old or the new
+// generation, never blocked on both. Breakpoint handles survive a
+// Reset: they detect the retired shard and transparently re-resolve
+// (see handle.go for the exact staleness contract).
 func (e *Engine) Reset() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, ws := range e.postponed {
-		for _, w := range ws {
-			if w.state == waiterWaiting {
-				w.state = waiterCancelled
-				w.cancelOutcome = OutcomeTimeout
-				close(w.cancelCh)
-			}
-		}
-	}
-	for _, ws := range e.multi {
-		for _, w := range ws {
-			if w.state == waiterWaiting {
-				w.state = waiterCancelled
-				w.cancelOutcome = OutcomeTimeout
-				close(w.cancelCh)
-			}
-		}
-	}
-	e.postponed = make(map[string][]*waiter)
-	e.multi = make(map[string][]*mwaiter)
-	e.stats = make(map[string]*BPStats)
-	e.breakers = make(map[string]*guard.Breaker)
+	old := e.registry.Swap(new(sync.Map))
+	old.Range(func(_, v any) bool {
+		v.(*bpState).retire()
+		return true
+	})
 }
 
 // matchResult is delivered to a postponed waiter when a partner arrives.
@@ -112,7 +103,7 @@ type matchResult struct {
 	firstDone chan struct{} // closed when the first side has proceeded
 }
 
-// waiter states, guarded by the engine mutex.
+// waiter states, guarded by the owning shard's mutex.
 const (
 	waiterWaiting = iota
 	waiterMatched
@@ -126,15 +117,17 @@ type waiter struct {
 	seq      uint64
 	ch       chan matchResult // buffered, capacity 1
 	cancelCh chan struct{}    // closed by Reset/watchdog to release the waiter
-	state    int              // guarded by engine mu
+	state    int              // guarded by shard mu
 	action   func()           // optional first-action instruction (TriggerHereAnd)
 
 	// deadline is when the requested postponement budget expires; the
 	// watchdog force-releases waiters stuck past it (plus grace).
 	deadline time.Time
 	// cancelOutcome is the outcome a cancelled waiter reports, set
-	// under the engine mutex before cancelCh is closed (OutcomeTimeout
+	// under the shard mutex before cancelCh is closed (OutcomeTimeout
 	// for Reset/watchdog, OutcomePanic for poisoned-predicate release).
+	// The close of cancelCh publishes it, so the released goroutine
+	// reads it without re-taking the lock.
 	cancelOutcome Outcome
 }
 
@@ -150,8 +143,14 @@ type waiter struct {
 // Postponed set. If a partner with a satisfied joint predicate arrives
 // in the meantime, the breakpoint is hit; otherwise the goroutine times
 // out and continues, so a breakpoint can never deadlock the program.
+//
+// TriggerHere resolves the breakpoint's shard by name on every call;
+// hot call sites can hoist the lookup with Engine.Breakpoint.
 func (e *Engine) TriggerHere(t Trigger, first bool, opts Options) bool {
-	return e.trigger(t, first, opts, nil) == OutcomeHit
+	if !e.enabled.Load() {
+		return false
+	}
+	return e.trigger(e.shard(t.Name()), t, first, opts, nil) == OutcomeHit
 }
 
 // TriggerHereAnd is TriggerHere with a strict ordering handshake: when
@@ -162,25 +161,37 @@ func (e *Engine) TriggerHere(t Trigger, first bool, opts Options) bool {
 // before TriggerHereAnd returns as well, so call sites can uniformly move
 // the guarded instruction into action.
 func (e *Engine) TriggerHereAnd(t Trigger, first bool, opts Options, action func()) bool {
-	out := e.trigger(t, first, opts, action)
-	return out == OutcomeHit
+	if !e.enabled.Load() {
+		if action != nil {
+			action()
+		}
+		return false
+	}
+	return e.trigger(e.shard(t.Name()), t, first, opts, action) == OutcomeHit
 }
 
 // TriggerOutcome is TriggerHere returning the full outcome rather than
 // just hit/miss; useful for tests and statistics.
 func (e *Engine) TriggerOutcome(t Trigger, first bool, opts Options) Outcome {
-	return e.trigger(t, first, opts, nil)
+	if !e.enabled.Load() {
+		return OutcomeDisabled
+	}
+	return e.trigger(e.shard(t.Name()), t, first, opts, nil)
 }
 
-func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Outcome {
+// trigger is the two-way arrival path. s is the breakpoint's shard,
+// resolved by the caller (by name, or pinned on a handle); all state the
+// arrival touches lives on it.
+func (e *Engine) trigger(s *bpState, t Trigger, first bool, opts Options, action func()) Outcome {
 	if !e.enabled.Load() {
 		if action != nil {
 			action()
 		}
 		return OutcomeDisabled
 	}
-	name := t.Name()
-	st, br := e.statsAndBreaker(name)
+	name := s.name
+	st := s.stats
+	br := s.breakerFor(e)
 	st.arrived(first)
 	fault := e.faultFor(name, first)
 
@@ -196,7 +207,7 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 			// Breaker open: the breakpoint is tripped; pass straight
 			// through at near-zero cost.
 			st.shed(first)
-			e.logEvent(EventArrived, name, 0, first)
+			e.logEvent(s, EventArrived, 0, first)
 			if e.execAction(name, 0, st, fault, 0, action) {
 				return OutcomePanic
 			}
@@ -212,7 +223,7 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 		st.localFalse(first)
 		// Log without the goroutine-id stack parse: local-false is the
 		// hot rejection path for refined breakpoints on busy sites.
-		e.logEvent(EventArrived, name, 0, first)
+		e.logEvent(s, EventArrived, 0, first)
 		if e.execAction(name, 0, st, fault, 0, action) {
 			return OutcomePanic
 		}
@@ -220,36 +231,39 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 	}
 
 	gid := goroutineID()
-	e.logEvent(EventArrived, name, gid, first)
+	e.logEvent(s, EventArrived, gid, first)
 
-	e.mu.Lock()
+	// Lock the live shard; a racing Reset may have retired s, in which
+	// case we continue on its replacement (and its counters).
+	s = e.lockLive(s)
+	st = s.stats
 	// Try to match an already-postponed partner.
-	w, poisoned, gpv := e.findPartner(name, t, first, gid, fault)
+	w, poisoned, gpv := s.findPartner(t, first, gid, fault)
 	if poisoned != nil {
 		// The joint predicate panicked against this waiter: release the
 		// partner so nothing stays postponed behind a broken predicate,
 		// and absorb the panic.
-		e.releaseWaiterLocked(name, poisoned, OutcomePanic)
-		e.mu.Unlock()
+		s.releaseWaiterLocked(poisoned, OutcomePanic)
+		s.mu.Unlock()
 		return e.absorbPredPanic(name, "global", gid, st, fault, gpv, action)
 	}
 	if w != nil {
-		e.removeWaiter(name, w)
+		s.removeWaiter(w)
 		w.state = waiterMatched
 		st.hit()
-		e.logEvent(EventHit, name, gid, first)
+		e.logEvent(s, EventHit, gid, first)
 		e.emitHit(name, t, w.t)
 		fd := make(chan struct{})
 		if first {
 			// We are the first-action side; the postponed partner is second.
 			w.ch <- matchResult{other: t, iAmFirst: false, firstDone: fd}
-			e.mu.Unlock()
+			s.mu.Unlock()
 			e.reportBreaker(br, name, st, true)
 			return e.runFirst(name, gid, st, fault, timeout, fd, action)
 		}
 		// The postponed partner is the first-action side.
 		w.ch <- matchResult{other: t, iAmFirst: true, firstDone: fd}
-		e.mu.Unlock()
+		s.mu.Unlock()
 		e.reportBreaker(br, name, st, true)
 		e.awaitFirst(fd, timeout)
 		if e.execAction(name, gid, st, fault, timeout, action) {
@@ -259,14 +273,13 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 	}
 
 	// No partner yet: postpone ourselves.
-	e.seq++
-	w = &waiter{t: t, first: first, gid: gid, seq: e.seq,
+	w = &waiter{t: t, first: first, gid: gid, seq: e.seq.Add(1),
 		ch: make(chan matchResult, 1), cancelCh: make(chan struct{}), action: action,
 		deadline: time.Now().Add(timeout)}
-	e.postponed[name] = append(e.postponed[name], w)
+	s.postponed = append(s.postponed, w)
 	st.postpone(first)
-	e.mu.Unlock()
-	e.logEvent(EventPostponed, name, gid, first)
+	s.mu.Unlock()
+	e.logEvent(s, EventPostponed, gid, first)
 
 	selectTimeout := timeout
 	if fault.WedgeWait {
@@ -284,8 +297,13 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 		return e.finishMatch(name, gid, st, fault, res, action, timeout)
 	case <-w.cancelCh:
 		// Reset, the watchdog, or a poisoned-predicate release freed us.
+		// The close happens after cancelOutcome was set under the shard
+		// mutex, so the plain read is ordered.
 		st.addWait(time.Since(start))
-		out := e.cancelOutcomeOf(func() Outcome { return w.cancelOutcome })
+		out := w.cancelOutcome
+		if out == OutcomeDisabled { // never set: defensive default
+			out = OutcomeTimeout
+		}
 		if out == OutcomeTimeout {
 			e.reportBreaker(br, name, st, false)
 		}
@@ -294,21 +312,21 @@ func (e *Engine) trigger(t Trigger, first bool, opts Options, action func()) Out
 		}
 		return out
 	case <-timer.C:
-		e.mu.Lock()
+		s.mu.Lock()
 		if w.state == waiterMatched {
 			// Matched concurrently with the timeout; honor the match.
-			e.mu.Unlock()
+			s.mu.Unlock()
 			res := <-w.ch
 			st.addWait(time.Since(start))
 			e.reportBreaker(br, name, st, true)
 			return e.finishMatch(name, gid, st, fault, res, action, timeout)
 		}
-		e.removeWaiter(name, w)
+		s.removeWaiter(w)
 		w.state = waiterCancelled
-		e.mu.Unlock()
+		s.mu.Unlock()
 		st.addWait(time.Since(start))
 		st.timeout(first)
-		e.logEvent(EventTimeout, name, gid, first)
+		e.logEvent(s, EventTimeout, gid, first)
 		e.reportBreaker(br, name, st, false)
 		if e.execAction(name, gid, st, fault, timeout, action) {
 			return OutcomePanic
@@ -357,8 +375,16 @@ func (e *Engine) runFirst(name string, gid uint64, st *BPStats, fault guard.Faul
 func (e *Engine) awaitFirst(firstDone chan struct{}, timeout time.Duration) {
 	select {
 	case <-firstDone:
-	case <-time.After(timeout):
-		// Defensive: never block forever even if the first side stalls.
+		// Common case: the first side has already proceeded (it releases
+		// immediately when it has no action), so no timer is ever built.
+	default:
+		timer := time.NewTimer(timeout)
+		select {
+		case <-firstDone:
+		case <-timer.C:
+			// Defensive: never block forever even if the first side stalls.
+		}
+		timer.Stop()
 	}
 	if e.OrderWindow > 0 {
 		deadline := time.Now().Add(e.OrderWindow)
@@ -368,23 +394,24 @@ func (e *Engine) awaitFirst(firstDone chan struct{}, timeout time.Duration) {
 	}
 }
 
-// findPartner scans the postponed set for the oldest waiter that is a
-// valid partner for t: the opposite side of the breakpoint (the paper's
-// i != j condition), a different goroutine, and a satisfied joint
-// predicate (evaluated, as in the paper's library, as the arriving
+// findPartner scans the shard's postponed set for the oldest waiter that
+// is a valid partner for t: the opposite side of the breakpoint (the
+// paper's i != j condition), a different goroutine, and a satisfied
+// joint predicate (evaluated, as in the paper's library, as the arriving
 // side's predicateGlobal against the postponed side). The predicate
 // runs isolated: if it panics, the scan stops and the waiter whose
 // pairing panicked is returned as poisoned along with the panic value,
-// so the caller can release it and absorb the failure.
-func (e *Engine) findPartner(name string, t Trigger, first bool, gid uint64, fault guard.Fault) (best, poisoned *waiter, pv any) {
-	for _, w := range e.postponed[name] {
+// so the caller can release it and absorb the failure. Caller holds
+// s.mu.
+func (s *bpState) findPartner(t Trigger, first bool, gid uint64, fault guard.Fault) (best, poisoned *waiter, pv any) {
+	for _, w := range s.postponed {
 		if w.state != waiterWaiting || w.gid == gid || w.first == first {
 			continue
 		}
 		other := w.t
 		ok, p, panicked := protectBool(func() bool {
 			if fault.PanicGlobal {
-				panic(guard.InjectedPanic{Breakpoint: name, Site: "global"})
+				panic(guard.InjectedPanic{Breakpoint: s.name, Site: "global"})
 			}
 			return t.PredicateGlobal(other)
 		})
@@ -401,21 +428,14 @@ func (e *Engine) findPartner(name string, t Trigger, first bool, gid uint64, fau
 	return best, nil, nil
 }
 
-func (e *Engine) removeWaiter(name string, w *waiter) {
-	ws := e.postponed[name]
-	for i, x := range ws {
-		if x == w {
-			ws[i] = ws[len(ws)-1]
-			e.postponed[name] = ws[:len(ws)-1]
-			return
-		}
-	}
-}
-
 // PostponedCount returns the number of goroutines currently postponed on
 // the named breakpoint (both sides). Mainly for tests and diagnostics.
 func (e *Engine) PostponedCount(name string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.postponed[name])
+	s, ok := e.lookupShard(name)
+	if !ok {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.postponed)
 }

@@ -97,11 +97,12 @@ func TestSameGoroutineNeverMatches(t *testing.T) {
 	// directly through findPartner.
 	gid := goroutineID()
 	w := &waiter{t: NewConflictTrigger("bp", obj), first: false, gid: gid, ch: make(chan matchResult, 1)}
-	e.mu.Lock()
-	e.postponed["bp"] = append(e.postponed["bp"], w)
-	got, _, _ := e.findPartner("bp", NewConflictTrigger("bp", obj), true, gid, guard.Fault{})
-	sameSide, _, _ := e.findPartner("bp", NewConflictTrigger("bp", obj), false, gid+1, guard.Fault{})
-	e.mu.Unlock()
+	s := e.shard("bp")
+	s.mu.Lock()
+	s.postponed = append(s.postponed, w)
+	got, _, _ := s.findPartner(NewConflictTrigger("bp", obj), true, gid, guard.Fault{})
+	sameSide, _, _ := s.findPartner(NewConflictTrigger("bp", obj), false, gid+1, guard.Fault{})
+	s.mu.Unlock()
 	if got != nil {
 		t.Fatal("findPartner matched a waiter from the same goroutine")
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -12,6 +13,12 @@ import (
 // breakpoint is reached (Figures 6 and 8); OnHit is the structured
 // version of that hook, and the event log gives a debugger the recent
 // breakpoint history of a run.
+//
+// The log is sharded with the rest of the engine: each breakpoint's
+// shard owns a bounded ring, so recording an event contends only with
+// readers and other arrivals of the same breakpoint — the hit path
+// takes no second global mutex. Events carry a global sequence number
+// and Events() merges the per-shard rings in sequence order.
 
 // EventKind classifies an engine event.
 type EventKind int
@@ -46,6 +53,9 @@ func (k EventKind) String() string {
 
 // Event is one entry of the engine's event log.
 type Event struct {
+	// Seq is the engine-wide event sequence number; it totally orders
+	// events across breakpoints (When has only clock resolution).
+	Seq uint64
 	// When is the event timestamp.
 	When time.Time
 	// Kind classifies the event.
@@ -67,18 +77,18 @@ func (ev Event) String() string {
 	return fmt.Sprintf("%s %s g%d (%s side)", ev.Breakpoint, ev.Kind, ev.GID, side)
 }
 
-// eventLog is a bounded ring of engine events.
-type eventLog struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	full  bool
-	onHit func(name string, t1, t2 Trigger)
+// eventRing is one shard's bounded ring of engine events.
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
 }
 
+// eventLogCapacity bounds each breakpoint's retained history.
 const eventLogCapacity = 256
 
-func (l *eventLog) add(ev Event) {
+func (l *eventRing) add(ev Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.buf == nil {
@@ -91,7 +101,7 @@ func (l *eventLog) add(ev Event) {
 	}
 }
 
-func (l *eventLog) snapshot() []Event {
+func (l *eventRing) snapshot() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.buf == nil {
@@ -105,31 +115,45 @@ func (l *eventLog) snapshot() []Event {
 	return out
 }
 
+// onHitBox wraps the hit callback for atomic storage on the engine.
+type onHitBox struct {
+	f func(name string, arriving, postponed Trigger)
+}
+
 // SetOnHit installs a callback invoked (synchronously, on the arriving
 // goroutine) whenever a breakpoint is hit, with both sides' triggers —
 // the structured analog of the paper's "Conflict"/"Deadlock" println.
 // Pass nil to remove.
 func (e *Engine) SetOnHit(f func(name string, arriving, postponed Trigger)) {
-	e.events.mu.Lock()
-	e.events.onHit = f
-	e.events.mu.Unlock()
+	if f == nil {
+		e.onHit.Store(nil)
+		return
+	}
+	e.onHit.Store(&onHitBox{f: f})
 }
 
 func (e *Engine) emitHit(name string, arriving, postponed Trigger) {
-	e.events.mu.Lock()
-	f := e.events.onHit
-	e.events.mu.Unlock()
-	if f != nil {
-		f(name, arriving, postponed)
+	if b := e.onHit.Load(); b != nil {
+		b.f(name, arriving, postponed)
 	}
 }
 
 // Events returns the engine's recent breakpoint events, oldest first
-// (bounded ring of 256).
-func (e *Engine) Events() []Event { return e.events.snapshot() }
+// (bounded ring of 256 per breakpoint), merged across breakpoints in
+// global sequence order.
+func (e *Engine) Events() []Event {
+	var out []Event
+	for _, s := range e.shards() {
+		out = append(out, s.events.snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
 
-// logEvent appends to the ring (cheap enough to do unconditionally; the
-// engine is only active when breakpoints are enabled).
-func (e *Engine) logEvent(kind EventKind, name string, gid uint64, first bool) {
-	e.events.add(Event{When: time.Now(), Kind: kind, Breakpoint: name, GID: gid, First: first})
+// logEvent appends to the shard's ring (cheap enough to do
+// unconditionally; the engine is only active when breakpoints are
+// enabled).
+func (e *Engine) logEvent(s *bpState, kind EventKind, gid uint64, first bool) {
+	s.events.add(Event{Seq: e.eventSeq.Add(1), When: time.Now(),
+		Kind: kind, Breakpoint: s.name, GID: gid, First: first})
 }

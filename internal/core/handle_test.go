@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHandleRendezvous(t *testing.T) {
+	e := newTestEngine()
+	bp := e.Breakpoint("h.rv")
+	obj := new(int)
+	var wg sync.WaitGroup
+	hits := 0
+	var mu sync.Mutex
+	for _, first := range []bool{true, false} {
+		wg.Add(1)
+		go func(first bool) {
+			defer wg.Done()
+			if bp.Trigger(NewConflictTrigger("h.rv", obj), first, Options{}) {
+				mu.Lock()
+				hits++
+				mu.Unlock()
+			}
+		}(first)
+	}
+	wg.Wait()
+	if hits != 2 {
+		t.Fatalf("handle rendezvous: %d sides reported a hit, want 2", hits)
+	}
+	if got := bp.Stats().Hits(); got != 1 {
+		t.Fatalf("Stats().Hits() = %d, want 1", got)
+	}
+}
+
+// TestHandleInteropWithStringAPI pins the compatibility contract: a
+// handle arrival and a string-keyed arrival under the same name resolve
+// to the same shard and match each other.
+func TestHandleInteropWithStringAPI(t *testing.T) {
+	e := newTestEngine()
+	bp := e.Breakpoint("h.mixed")
+	obj := new(int)
+	done := make(chan bool, 1)
+	go func() {
+		done <- e.TriggerHere(NewConflictTrigger("h.mixed", obj), false, Options{})
+	}()
+	hit := bp.Trigger(NewConflictTrigger("h.mixed", obj), true, Options{})
+	if other := <-done; !hit || !other {
+		t.Fatalf("mixed-API rendezvous: handle=%v string=%v, want both true", hit, other)
+	}
+	if got := e.Stats("h.mixed").Hits(); got != 1 {
+		t.Fatalf("Hits() = %d, want 1", got)
+	}
+}
+
+func TestHandleMulti(t *testing.T) {
+	e := newTestEngine()
+	bp := e.Breakpoint("h.multi")
+	obj := new(int)
+	const arity = 3
+	results := make(chan bool, arity)
+	var wg sync.WaitGroup
+	for slot := 0; slot < arity; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			results <- bp.TriggerMulti(NewConflictTrigger("h.multi", obj), slot, arity, Options{})
+		}(slot)
+	}
+	wg.Wait()
+	close(results)
+	for hit := range results {
+		if !hit {
+			t.Fatal("multi-way handle rendezvous missed")
+		}
+	}
+}
+
+// TestHandleSurvivesReset pins the stale-handle contract: Reset retires
+// the shard behind a handle, and the handle's next operation
+// transparently re-resolves a fresh one. Old BPStats pointers freeze.
+func TestHandleSurvivesReset(t *testing.T) {
+	e := newTestEngine()
+	e.OrderWindow = 0
+	bp := e.Breakpoint("h.reset")
+	obj := new(int)
+	hitBoth := func() {
+		done := make(chan bool, 1)
+		go func() {
+			done <- bp.Trigger(NewConflictTrigger("h.reset", obj), false, Options{})
+		}()
+		if !bp.Trigger(NewConflictTrigger("h.reset", obj), true, Options{}) || !<-done {
+			t.Fatal("rendezvous through handle failed")
+		}
+	}
+	hitBoth()
+	old := bp.Stats()
+	if old.Hits() != 1 {
+		t.Fatalf("pre-Reset Hits() = %d, want 1", old.Hits())
+	}
+
+	e.Reset()
+
+	fresh := bp.Stats()
+	if fresh == old {
+		t.Fatal("handle still resolves the retired generation's stats after Reset")
+	}
+	if fresh.Hits() != 0 {
+		t.Fatalf("post-Reset Hits() = %d, want 0", fresh.Hits())
+	}
+	hitBoth()
+	if fresh.Hits() != 1 || old.Hits() != 1 {
+		t.Fatalf("post-Reset hit landed wrong: fresh=%d (want 1), old=%d (want 1 frozen)",
+			fresh.Hits(), old.Hits())
+	}
+}
+
+// TestResetReleasesHandleWaiter: a goroutine postponed through a handle
+// is released promptly (with a miss) when Reset retires its shard, and
+// the handle keeps working afterwards.
+func TestResetReleasesHandleWaiter(t *testing.T) {
+	e := newTestEngine()
+	bp := e.Breakpoint("h.release")
+	done := make(chan bool, 1)
+	go func() {
+		done <- bp.Trigger(NewConflictTrigger("h.release", new(int)), true,
+			Options{Timeout: 10 * time.Second})
+	}()
+	waitFor(t, "postponed handle waiter", func() bool { return bp.PostponedCount() == 1 })
+	e.Reset()
+	select {
+	case hit := <-done:
+		if hit {
+			t.Fatal("released waiter reported a hit")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Reset did not release the postponed handle waiter")
+	}
+	if bp.PostponedCount() != 0 {
+		t.Fatalf("PostponedCount = %d after Reset, want 0", bp.PostponedCount())
+	}
+}

@@ -81,7 +81,10 @@ func (e *Engine) recordIncident(k guard.IncidentKind, name string, gid uint64, d
 
 // SetBreakerConfig enables per-breakpoint circuit breakers with the
 // given configuration (zero fields take guard defaults), or disables
-// them when cfg is nil. Existing breaker state is discarded either way.
+// them when cfg is nil. Existing breaker state is discarded either way:
+// the engine's breaker epoch is bumped and each shard lazily rebuilds
+// its breaker on next use (shard.breakerFor), so reconfiguration never
+// stops the world.
 func (e *Engine) SetBreakerConfig(cfg *guard.BreakerConfig) {
 	if cfg == nil {
 		e.breakerCfg.Store(nil)
@@ -89,45 +92,28 @@ func (e *Engine) SetBreakerConfig(cfg *guard.BreakerConfig) {
 		c := *cfg
 		e.breakerCfg.Store(&c)
 	}
-	e.mu.Lock()
-	e.breakers = make(map[string]*guard.Breaker)
-	e.mu.Unlock()
+	e.brEpoch.Add(1)
 }
 
 // BreakerSnapshot returns the circuit-breaker state of the named
 // breakpoint; ok is false when breakers are disabled or the breakpoint
-// has not been seen since they were enabled.
+// has not been seen since they were (re)configured.
 func (e *Engine) BreakerSnapshot(name string) (guard.BreakerSnapshot, bool) {
-	e.mu.Lock()
-	br := e.breakers[name]
-	e.mu.Unlock()
-	if br == nil {
+	if e.breakerCfg.Load() == nil {
+		return guard.BreakerSnapshot{}, false
+	}
+	s, ok := e.lookupShard(name)
+	if !ok {
+		return guard.BreakerSnapshot{}, false
+	}
+	epoch := e.brEpoch.Load()
+	s.brMu.Lock()
+	br, brEpoch := s.breaker, s.brEpoch
+	s.brMu.Unlock()
+	if br == nil || brEpoch != epoch {
 		return guard.BreakerSnapshot{}, false
 	}
 	return br.Snapshot(), true
-}
-
-// statsAndBreaker resolves the per-breakpoint stats record and (when
-// breakers are enabled) the breakpoint's circuit breaker under one
-// mutex acquisition, keeping the hot path at a single lock.
-func (e *Engine) statsAndBreaker(name string) (*BPStats, *guard.Breaker) {
-	cfg := e.breakerCfg.Load()
-	e.mu.Lock()
-	st, ok := e.stats[name]
-	if !ok {
-		st = &BPStats{name: name}
-		e.stats[name] = st
-	}
-	var br *guard.Breaker
-	if cfg != nil {
-		br = e.breakers[name]
-		if br == nil {
-			br = guard.NewBreaker(*cfg)
-			e.breakers[name] = br
-		}
-	}
-	e.mu.Unlock()
-	return st, br
 }
 
 // reportBreaker feeds a postponement outcome into the breakpoint's
@@ -251,36 +237,6 @@ func (e *Engine) execAction(name string, gid uint64, st *BPStats, fault guard.Fa
 	return panicked
 }
 
-// releaseWaiterLocked cancels a postponed two-way waiter with the given
-// outcome. Caller holds e.mu.
-func (e *Engine) releaseWaiterLocked(name string, w *waiter, out Outcome) {
-	e.removeWaiter(name, w)
-	w.state = waiterCancelled
-	w.cancelOutcome = out
-	close(w.cancelCh)
-}
-
-// releaseMultiWaiterLocked is releaseWaiterLocked for multi-way
-// waiters. Caller holds e.mu.
-func (e *Engine) releaseMultiWaiterLocked(name string, w *mwaiter, out Outcome) {
-	e.removeMultiWaiter(name, w)
-	w.state = waiterCancelled
-	w.cancelOutcome = out
-	close(w.cancelCh)
-}
-
-// cancelOutcomeOf reads a cancelled waiter's outcome (set under e.mu
-// before cancelCh was closed).
-func (e *Engine) cancelOutcomeOf(read func() Outcome) Outcome {
-	e.mu.Lock()
-	out := read()
-	e.mu.Unlock()
-	if out == OutcomeDisabled { // never set: defensive default
-		out = OutcomeTimeout
-	}
-	return out
-}
-
 // StartWatchdog starts the engine's background postponement monitor: a
 // goroutine that every interval force-releases waiters stuck past their
 // postponement budget (their requested timeout plus grace) — wedged
@@ -338,7 +294,10 @@ func (e *Engine) WatchdogRunning() bool {
 }
 
 // watchdogScan force-releases every waiter postponed past its budget
-// and returns how many it released.
+// and returns how many it released. The scan walks the shard registry
+// and locks one shard at a time, so a slow scan never stalls arrivals
+// on unrelated breakpoints (no stop-the-world pass). Retired shards
+// need no scan: retire() already released their waiters.
 func (e *Engine) watchdogScan(now time.Time, grace time.Duration) int {
 	type release struct {
 		name string
@@ -346,24 +305,22 @@ func (e *Engine) watchdogScan(now time.Time, grace time.Duration) int {
 		over time.Duration
 	}
 	var releases []release
-	e.mu.Lock()
-	for name, ws := range e.postponed {
-		for _, w := range append([]*waiter(nil), ws...) {
+	for _, s := range e.shards() {
+		s.mu.Lock()
+		for _, w := range append([]*waiter(nil), s.postponed...) {
 			if w.state == waiterWaiting && now.After(w.deadline.Add(grace)) {
-				e.releaseWaiterLocked(name, w, OutcomeTimeout)
-				releases = append(releases, release{name, w.gid, now.Sub(w.deadline)})
+				s.releaseWaiterLocked(w, OutcomeTimeout)
+				releases = append(releases, release{s.name, w.gid, now.Sub(w.deadline)})
 			}
 		}
-	}
-	for name, ws := range e.multi {
-		for _, w := range append([]*mwaiter(nil), ws...) {
+		for _, w := range append([]*mwaiter(nil), s.multi...) {
 			if w.state == waiterWaiting && now.After(w.deadline.Add(grace)) {
-				e.releaseMultiWaiterLocked(name, w, OutcomeTimeout)
-				releases = append(releases, release{name, w.gid, now.Sub(w.deadline)})
+				s.releaseMultiWaiterLocked(w, OutcomeTimeout)
+				releases = append(releases, release{s.name, w.gid, now.Sub(w.deadline)})
 			}
 		}
+		s.mu.Unlock()
 	}
-	e.mu.Unlock()
 	for _, r := range releases {
 		e.recordIncident(guard.KindWatchdogRelease, r.name, r.gid,
 			fmt.Sprintf("force-released %s past postponement budget", r.over.Round(time.Millisecond)))

@@ -151,7 +151,7 @@ func TestActionPanicPolicies(t *testing.T) {
 func TestMultiPredicatePanic(t *testing.T) {
 	e := newTestEngine()
 	e.SetInjector(faultinject.NewPlan().PanicLocal("bp", faultinject.BothSides))
-	out := e.triggerMulti(NewConflictTrigger("bp", new(int)), 0, 3, Options{}, nil)
+	out := e.triggerMulti(e.shard("bp"), NewConflictTrigger("bp", new(int)), 0, 3, Options{}, nil)
 	if out != OutcomePanic {
 		t.Fatalf("multi outcome = %v, want panic", out)
 	}
@@ -189,7 +189,7 @@ func TestBreakerTripShedsArrivals(t *testing.T) {
 	// Arrivals now shed: no postponement, action still runs, near-instant.
 	start := time.Now()
 	ran := false
-	out := e.trigger(NewConflictTrigger("bp", new(int)), true, Options{Timeout: time.Second}, func() { ran = true })
+	out := e.trigger(e.shard("bp"), NewConflictTrigger("bp", new(int)), true, Options{Timeout: time.Second}, func() { ran = true })
 	if out != OutcomeShed {
 		t.Fatalf("outcome = %v, want shed", out)
 	}
@@ -340,7 +340,7 @@ func TestWatchdogForceReleasesWedgedMultiWaiter(t *testing.T) {
 
 	out := make(chan Outcome, 1)
 	go func() {
-		out <- e.triggerMulti(NewConflictTrigger("bp", new(int)), 0, 3, Options{Timeout: 30 * time.Millisecond}, nil)
+		out <- e.triggerMulti(e.shard("bp"), NewConflictTrigger("bp", new(int)), 0, 3, Options{Timeout: 30 * time.Millisecond}, nil)
 	}()
 	select {
 	case got := <-out:
@@ -457,7 +457,9 @@ func TestResetDuringPostponementNeverLeaks(t *testing.T) {
 	for i := 0; i < pairs; i++ {
 		obj := new(int)
 		go func() { outs <- e.TriggerOutcome(NewConflictTrigger("two", obj), true, Options{}) }()
-		go func() { outs <- e.triggerMulti(NewConflictTrigger("multi", obj), 0, 3, Options{}, nil) }()
+		go func() {
+			outs <- e.triggerMulti(e.shard("multi"), NewConflictTrigger("multi", obj), 0, 3, Options{}, nil)
+		}()
 	}
 	waitForPostponed(t, e, "two", pairs)
 	waitForPostponed(t, e, "multi", pairs)

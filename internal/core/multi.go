@@ -30,7 +30,8 @@ type mwaiter struct {
 	action   func()
 
 	// deadline/cancelOutcome mirror the waiter fields (engine.go): the
-	// watchdog budget and the outcome a cancelled waiter reports.
+	// watchdog budget and the outcome a cancelled waiter reports
+	// (published by the close of cancelCh).
 	deadline      time.Time
 	cancelOutcome Outcome
 }
@@ -45,17 +46,28 @@ type mmatch struct {
 // `slot` of the n-way breakpoint t (slots are 0-based; slot order is the
 // release order). It returns true when the full group rendezvoused.
 func (e *Engine) TriggerHereMulti(t Trigger, slot, arity int, opts Options) bool {
-	return e.triggerMulti(t, slot, arity, opts, nil) == OutcomeHit
+	if !e.enabled.Load() {
+		return false
+	}
+	return e.triggerMulti(e.shard(t.Name()), t, slot, arity, opts, nil) == OutcomeHit
 }
 
 // TriggerHereMultiAnd is TriggerHereMulti with the slot's guarded next
 // instruction supplied as action: on a hit, actions run strictly in slot
 // order; on a miss, action runs before the call returns.
 func (e *Engine) TriggerHereMultiAnd(t Trigger, slot, arity int, opts Options, action func()) bool {
-	return e.triggerMulti(t, slot, arity, opts, action) == OutcomeHit
+	if !e.enabled.Load() {
+		if action != nil {
+			action()
+		}
+		return false
+	}
+	return e.triggerMulti(e.shard(t.Name()), t, slot, arity, opts, action) == OutcomeHit
 }
 
-func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action func()) Outcome {
+// triggerMulti is the N-way arrival path; like trigger (engine.go) it
+// operates on the breakpoint's shard, resolved by the caller.
+func (e *Engine) triggerMulti(s *bpState, t Trigger, slot, arity int, opts Options, action func()) Outcome {
 	if arity < 2 || slot < 0 || slot >= arity {
 		if action != nil {
 			action()
@@ -68,8 +80,9 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 		}
 		return OutcomeDisabled
 	}
-	name := t.Name()
-	st, br := e.statsAndBreaker(name)
+	name := s.name
+	st := s.stats
+	br := s.breakerFor(e)
 	st.arrived(slot == 0)
 	fault := e.faultFor(name, slot == 0)
 
@@ -102,18 +115,19 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 		return OutcomeLocalFalse
 	}
 	gid := goroutineID()
-	e.logEvent(EventArrived, name, gid, slot == 0)
+	e.logEvent(s, EventArrived, gid, slot == 0)
 
-	e.mu.Lock()
-	group, poisoned, gpv := e.findGroup(name, t, slot, arity, gid, fault)
+	s = e.lockLive(s)
+	st = s.stats
+	group, poisoned, gpv := s.findGroup(t, slot, arity, gid, fault)
 	if poisoned != nil {
-		e.releaseMultiWaiterLocked(name, poisoned, OutcomePanic)
-		e.mu.Unlock()
+		s.releaseMultiWaiterLocked(poisoned, OutcomePanic)
+		s.mu.Unlock()
 		return e.absorbPredPanic(name, "global", gid, st, fault, gpv, action)
 	}
 	if group != nil {
 		st.hit()
-		e.logEvent(EventHit, name, gid, slot == 0)
+		e.logEvent(s, EventHit, gid, slot == 0)
 		e.emitHit(name, t, group[0].t)
 		// Build the release chain: chain[i] is closed when slot i may
 		// proceed; chain[0] starts closed.
@@ -124,22 +138,21 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 		close(chain[0])
 		for _, w := range group {
 			w.state = waiterMatched
-			e.removeMultiWaiter(name, w)
+			s.removeMultiWaiter(w)
 			w.ch <- mmatch{prev: chain[w.slot], self: chain[w.slot+1]}
 		}
-		e.mu.Unlock()
+		s.mu.Unlock()
 		e.reportBreaker(br, name, st, true)
 		return e.runChainStage(name, gid, st, fault, chain[slot], chain[slot+1], action, timeout)
 	}
 
 	// Postpone.
-	e.seq++
-	w := &mwaiter{t: t, slot: slot, arity: arity, gid: gid, seq: e.seq,
+	w := &mwaiter{t: t, slot: slot, arity: arity, gid: gid, seq: e.seq.Add(1),
 		ch: make(chan mmatch, 1), cancelCh: make(chan struct{}), action: action,
 		deadline: time.Now().Add(timeout)}
-	e.multi[name] = append(e.multi[name], w)
+	s.multi = append(s.multi, w)
 	st.postpone(slot == 0)
-	e.mu.Unlock()
+	s.mu.Unlock()
 
 	selectTimeout := timeout
 	if fault.WedgeWait {
@@ -155,7 +168,10 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 		return e.runChainStage(name, gid, st, fault, mm.prev, mm.self, action, timeout)
 	case <-w.cancelCh:
 		st.addWait(time.Since(start))
-		out := e.cancelOutcomeOf(func() Outcome { return w.cancelOutcome })
+		out := w.cancelOutcome
+		if out == OutcomeDisabled { // never set: defensive default
+			out = OutcomeTimeout
+		}
 		if out == OutcomeTimeout {
 			e.reportBreaker(br, name, st, false)
 		}
@@ -164,20 +180,20 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 		}
 		return out
 	case <-timer.C:
-		e.mu.Lock()
+		s.mu.Lock()
 		if w.state == waiterMatched {
-			e.mu.Unlock()
+			s.mu.Unlock()
 			mm := <-w.ch
 			st.addWait(time.Since(start))
 			e.reportBreaker(br, name, st, true)
 			return e.runChainStage(name, gid, st, fault, mm.prev, mm.self, action, timeout)
 		}
-		e.removeMultiWaiter(name, w)
+		s.removeMultiWaiter(w)
 		w.state = waiterCancelled
-		e.mu.Unlock()
+		s.mu.Unlock()
 		st.addWait(time.Since(start))
 		st.timeout(slot == 0)
-		e.logEvent(EventTimeout, name, gid, slot == 0)
+		e.logEvent(s, EventTimeout, gid, slot == 0)
 		e.reportBreaker(br, name, st, false)
 		if e.execAction(name, gid, st, fault, timeout, action) {
 			return OutcomePanic
@@ -194,8 +210,16 @@ func (e *Engine) triggerMulti(t Trigger, slot, arity int, opts Options, action f
 func (e *Engine) runChainStage(name string, gid uint64, st *BPStats, fault guard.Fault, prev, self chan struct{}, action func(), timeout time.Duration) Outcome {
 	select {
 	case <-prev:
-	case <-time.After(timeout):
-		// Defensive: an earlier stage stalled; proceed anyway.
+		// Previous slot already proceeded; skip the timer entirely (the
+		// common case for slot 0 and tight chains).
+	default:
+		timer := time.NewTimer(timeout)
+		select {
+		case <-prev:
+		case <-timer.C:
+			// Defensive: an earlier stage stalled; proceed anyway.
+		}
+		timer.Stop()
 	}
 	defer close(self)
 	if action != nil || !fault.Zero() {
@@ -224,19 +248,20 @@ func (e *Engine) runChainStage(name string, gid uint64, st *BPStats, fault guard
 // exists. Slots are filled by backtracking over the (small) candidate
 // lists, preferring older waiters. Joint predicates run isolated, like
 // findPartner's: on a panic the search aborts and the waiter whose
-// pairing panicked is returned as poisoned with the panic value.
-func (e *Engine) findGroup(name string, t Trigger, slot, arity int, gid uint64, fault guard.Fault) (group []*mwaiter, poisoned *mwaiter, pv any) {
+// pairing panicked is returned as poisoned with the panic value. Caller
+// holds s.mu.
+func (s *bpState) findGroup(t Trigger, slot, arity int, gid uint64, fault guard.Fault) (group []*mwaiter, poisoned *mwaiter, pv any) {
 	pair := func(a, b Trigger) (bool, any, bool) {
 		return protectBool(func() bool {
 			if fault.PanicGlobal {
-				panic(guard.InjectedPanic{Breakpoint: name, Site: "global"})
+				panic(guard.InjectedPanic{Breakpoint: s.name, Site: "global"})
 			}
 			return a.PredicateGlobal(b)
 		})
 	}
 	// Candidates per missing slot.
 	cands := make(map[int][]*mwaiter)
-	for _, w := range e.multi[name] {
+	for _, w := range s.multi {
 		if w.state != waiterWaiting || w.arity != arity || w.slot == slot || w.gid == gid {
 			continue
 		}
@@ -320,21 +345,14 @@ func (e *Engine) findGroup(name string, t Trigger, slot, arity int, gid uint64, 
 	return chosen, nil, nil
 }
 
-func (e *Engine) removeMultiWaiter(name string, w *mwaiter) {
-	ws := e.multi[name]
-	for i, x := range ws {
-		if x == w {
-			ws[i] = ws[len(ws)-1]
-			e.multi[name] = ws[:len(ws)-1]
-			return
-		}
-	}
-}
-
 // MultiPostponedCount returns the number of goroutines postponed on the
 // named multi-way breakpoint.
 func (e *Engine) MultiPostponedCount(name string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.multi[name])
+	s, ok := e.lookupShard(name)
+	if !ok {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.multi)
 }

@@ -157,30 +157,22 @@ func (s *BPStats) String() string {
 		snap.TotalWait, snap.Panics, snap.Sheds, snap.Trips)
 }
 
-func (e *Engine) statsFor(name string) *BPStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st, ok := e.stats[name]
-	if !ok {
-		st = &BPStats{name: name}
-		e.stats[name] = st
-	}
-	return st
-}
-
 // Stats returns the statistics for the named breakpoint, creating an
-// empty record if the breakpoint has never been reached.
-func (e *Engine) Stats(name string) *BPStats { return e.statsFor(name) }
+// empty record if the breakpoint has never been reached. After a Reset
+// the returned pointer belongs to the old generation and stops
+// updating; call Stats again for the live record.
+func (e *Engine) Stats(name string) *BPStats { return e.shard(name).stats }
 
 // AllStats returns statistics for every breakpoint seen by the engine,
-// sorted by name.
+// sorted by name. The walk is a lock-free registry traversal; each
+// record's counters are atomic, so this is safe (and non-disruptive)
+// while the engine is running hot.
 func (e *Engine) AllStats() []*BPStats {
-	e.mu.Lock()
-	out := make([]*BPStats, 0, len(e.stats))
-	for _, st := range e.stats {
-		out = append(out, st)
+	shards := e.shards()
+	out := make([]*BPStats, 0, len(shards))
+	for _, s := range shards {
+		out = append(out, s.stats)
 	}
-	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }

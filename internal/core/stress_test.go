@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cbreak/internal/guard"
+)
+
+// TestShardLifecycleStress hammers the shard lifecycle from every
+// direction at once: concurrent two-way and multi-way arrivals across
+// many breakpoints, Reset swapping registries out from under them,
+// SetBreakerConfig flipping breakers on and off (epoch churn), the
+// watchdog scanning shards, handles re-resolving across generations,
+// and readers walking stats, events, and breaker snapshots. Run under
+// -race in CI, it pins the new concurrency contract; without -race it
+// is still a decent smoke for lost wakeups (every arrival must return).
+func TestShardLifecycleStress(t *testing.T) {
+	e := NewEngine()
+	e.DefaultTimeout = 2 * time.Millisecond
+	e.OrderWindow = 0
+	e.StartWatchdog(5*time.Millisecond, 5*time.Millisecond)
+	defer e.StopWatchdog()
+
+	const (
+		nBreakpoints = 16
+		nTriggerers  = 8
+		iterations   = 300
+	)
+	names := make([]string, nBreakpoints)
+	objs := make([]*int, nBreakpoints)
+	for i := range names {
+		names[i] = fmt.Sprintf("stress.bp%d", i)
+		objs[i] = new(int)
+	}
+
+	stop := make(chan struct{})
+	var trigWG, churnWG sync.WaitGroup
+
+	// Trigger hammers: mixed string-keyed and handle arrivals, both
+	// sides, so rendezvous, timeouts, and Reset releases all happen.
+	for g := 0; g < nTriggerers; g++ {
+		trigWG.Add(1)
+		go func(g int) {
+			defer trigWG.Done()
+			bp := e.Breakpoint(names[g%nBreakpoints])
+			for i := 0; i < iterations; i++ {
+				k := (g + i) % nBreakpoints
+				tr := NewConflictTrigger(names[k], objs[k])
+				switch i % 3 {
+				case 0:
+					e.TriggerHere(tr, g%2 == 0, Options{})
+				case 1:
+					bp.Trigger(NewConflictTrigger(bp.Name(), objs[g%nBreakpoints]), i%2 == 0, Options{})
+				case 2:
+					e.TriggerHereMulti(tr, g%3, 3, Options{})
+				}
+			}
+		}(g)
+	}
+
+	// Lifecycle churn: Reset and breaker reconfiguration racing the
+	// arrivals above.
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		cfg := guard.DefaultBreakerConfig()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				e.Reset()
+			case 1:
+				e.SetBreakerConfig(&cfg)
+			case 2:
+				e.SetBreakerConfig(nil)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Readers: every observability surface, concurrently.
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.SnapshotAll()
+			e.Events()
+			e.IncidentCounts()
+			for _, n := range names {
+				e.PostponedCount(n)
+				e.MultiPostponedCount(n)
+				e.BreakerSnapshot(n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// The triggerers are the bounded part; a generous deadline bounds
+	// the whole test so a lost wakeup fails instead of hanging.
+	done := make(chan struct{})
+	go func() { trigWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress triggerers did not finish: lost wakeup or deadlock in shard lifecycle")
+	}
+	close(stop)
+	churnWG.Wait()
+}

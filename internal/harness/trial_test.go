@@ -95,6 +95,43 @@ func TestAggregateExcludesInfrastructureFailures(t *testing.T) {
 	}
 }
 
+// TestRunTrialHandleStatsFlow pins that breakpoints exercised through
+// the handle API (core.Engine.Breakpoint) land in the trial outcome's
+// stats snapshots exactly like string-keyed arrivals do.
+func TestRunTrialHandleStatsFlow(t *testing.T) {
+	spec := TrialSpec{
+		Key:        TrialKey{Table: "test", Row: 1, Variant: VariantWith},
+		Breakpoint: true,
+		Timeout:    2 * time.Second,
+		Run: func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
+			h := e.Breakpoint("h.trial")
+			obj := new(int)
+			done := make(chan bool, 1)
+			go func() {
+				done <- h.Trigger(core.NewConflictTrigger("h.trial", obj), false, core.Options{Timeout: to})
+			}()
+			hit := h.Trigger(core.NewConflictTrigger("h.trial", obj), true, core.Options{Timeout: to})
+			return appkit.Result{Status: appkit.OK, BPHit: hit && <-done}
+		},
+	}
+	out := RunTrial(spec)
+	if !out.Result.BPHit {
+		t.Fatal("handle rendezvous missed inside trial")
+	}
+	var snap *core.StatsSnapshot
+	for i := range out.Stats {
+		if out.Stats[i].Name == "h.trial" {
+			snap = &out.Stats[i]
+		}
+	}
+	if snap == nil {
+		t.Fatalf("handle-registered breakpoint absent from outcome stats: %+v", out.Stats)
+	}
+	if snap.Hits != 1 || snap.Arrivals != 2 {
+		t.Fatalf("outcome stats hits/arrivals = %d/%d, want 1/2", snap.Hits, snap.Arrivals)
+	}
+}
+
 func TestTrialSeedDeterministicAndDistinct(t *testing.T) {
 	k1 := TrialKey{Table: "1", Row: 0, Variant: VariantWith}
 	k2 := TrialKey{Table: "1", Row: 0, Variant: VariantBase}
