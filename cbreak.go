@@ -296,6 +296,12 @@ type (
 	FaultSide = faultinject.Side
 	// StatsSnapshot is an atomic copy of one breakpoint's counters.
 	StatsSnapshot = core.StatsSnapshot
+	// OverloadConfig parameterizes postponed-population overload
+	// protection (per-shard caps, adaptive budgets, global shedding).
+	OverloadConfig = core.OverloadConfig
+	// PostponedWaiter describes one goroutine currently postponed at a
+	// breakpoint, as observed by supervision snapshots.
+	PostponedWaiter = core.PostponedWaiter
 )
 
 // Incident kinds.
@@ -306,6 +312,11 @@ const (
 	KindBreakerTrip     = guard.KindBreakerTrip
 	KindBreakerProbe    = guard.KindBreakerProbe
 	KindBreakerRearm    = guard.KindBreakerRearm
+	// Wait-graph supervision incidents (docs/USAGE.md, "Deadlock
+	// supervision & overload shedding").
+	KindCycleBreak        = guard.KindCycleBreak
+	KindDeadlockConfirmed = guard.KindDeadlockConfirmed
+	KindOverloadShed      = guard.KindOverloadShed
 )
 
 // Breaker states and fault-plan sides.
@@ -364,3 +375,22 @@ func IncidentCount(k IncidentKind) int64 { return core.Default().IncidentCount(k
 // SnapshotStats returns atomic snapshots of every breakpoint's counters
 // on the default engine, sorted by name.
 func SnapshotStats() []StatsSnapshot { return core.Default().SnapshotAll() }
+
+// SetOverloadConfig installs postponed-population overload protection
+// on the default engine (nil disables it).
+func SetOverloadConfig(cfg *OverloadConfig) { core.Default().SetOverloadConfig(cfg) }
+
+// PostponedTotal returns how many goroutines are currently postponed
+// across all of the default engine's breakpoints.
+func PostponedTotal() int64 { return core.Default().PostponedTotal() }
+
+// PostponedWaiters snapshots every goroutine currently postponed on the
+// default engine, for wait-graph construction or diagnostics.
+func PostponedWaiters() []PostponedWaiter { return core.Default().PostponedWaiters() }
+
+// ForceRelease releases the named breakpoint's postponed goroutine gid
+// early (as if its budget expired), recording an incident of the given
+// kind; it reports whether the goroutine was found postponed there.
+func ForceRelease(name string, gid uint64, kind IncidentKind, detail string) bool {
+	return core.Default().ForceRelease(name, gid, kind, detail)
+}

@@ -32,9 +32,23 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Pkg is the package the line came from; multi-package bench runs
+	// (core + waitgraph) produce one artifact with each entry
+	// attributed to its source.
+	Pkg string `json:"pkg,omitempty"`
 	// Metrics holds any additional unit pairs (MB/s, custom ReportMetric
 	// units) keyed by unit name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Delta compares one matched benchmark pair: the supervised variant's
+// ns/op over its unsupervised baseline, so the artifact answers "what
+// does the wait-graph supervisor cost on the contended hot path?"
+// without post-processing (a ratio near 1.0 means within noise).
+type Delta struct {
+	Base  string  `json:"base"`
+	With  string  `json:"with"`
+	Ratio float64 `json:"ratio"`
 }
 
 // Report is the whole artifact: the run's environment header plus every
@@ -45,11 +59,15 @@ type Report struct {
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// SupervisorDeltas pairs each "...SupervisorOn..." series with its
+	// "...SupervisorOff..." baseline.
+	SupervisorDeltas []Delta `json:"supervisor_deltas,omitempty"`
 }
 
 // parse reads `go test -bench` text output into a Report.
 func parse(r io.Reader) (Report, error) {
 	var rep Report
+	var pkg string
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -61,7 +79,10 @@ func parse(r io.Reader) (Report, error) {
 			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if rep.Pkg == "" {
+				rep.Pkg = pkg
+			}
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
@@ -73,12 +94,36 @@ func parse(r io.Reader) (Report, error) {
 		if err != nil {
 			return rep, err
 		}
+		b.Pkg = pkg
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		return rep, err
 	}
+	rep.SupervisorDeltas = supervisorDeltas(rep.Benchmarks)
 	return rep, nil
+}
+
+// supervisorDeltas pairs every "...SupervisorOn..." entry with the
+// matching "...SupervisorOff..." baseline (same name otherwise) and
+// reports the ns/op ratio.
+func supervisorDeltas(bs []Benchmark) []Delta {
+	byName := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var out []Delta
+	for _, b := range bs {
+		if !strings.Contains(b.Name, "SupervisorOn") {
+			continue
+		}
+		base, ok := byName[strings.Replace(b.Name, "SupervisorOn", "SupervisorOff", 1)]
+		if !ok || base.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Delta{Base: base.Name, With: b.Name, Ratio: b.NsPerOp / base.NsPerOp})
+	}
+	return out
 }
 
 // parseLine parses one "BenchmarkName-P  iters  v1 unit1  v2 unit2 ..."

@@ -69,3 +69,46 @@ func TestParseRejectsMalformedLines(t *testing.T) {
 		}
 	}
 }
+
+const multiPkgOutput = `goos: linux
+goarch: amd64
+pkg: cbreak/internal/core
+BenchmarkEngineContention/K=1-4  	     100	       158.4 ns/op
+PASS
+ok  	cbreak/internal/core	1.234s
+pkg: cbreak/internal/waitgraph
+BenchmarkEngineContentionSupervisorOff/K=1-4	     100	       160.0 ns/op
+BenchmarkEngineContentionSupervisorOn/K=1-4 	     100	       168.0 ns/op
+BenchmarkEngineContentionSupervisorOn/K=8-4 	     100	       170.0 ns/op
+PASS
+ok  	cbreak/internal/waitgraph	1.1s
+`
+
+func TestParseMultiPackageAndSupervisorDeltas(t *testing.T) {
+	rep, err := parse(strings.NewReader(multiPkgOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pkg != "cbreak/internal/core" {
+		t.Fatalf("header pkg = %q, want the first package", rep.Pkg)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Pkg != "cbreak/internal/core" ||
+		rep.Benchmarks[1].Pkg != "cbreak/internal/waitgraph" {
+		t.Fatalf("per-benchmark pkgs = %q, %q", rep.Benchmarks[0].Pkg, rep.Benchmarks[1].Pkg)
+	}
+	// K=1 has both variants; K=8 has no Off baseline and is skipped.
+	if len(rep.SupervisorDeltas) != 1 {
+		t.Fatalf("deltas = %+v, want exactly the K=1 pair", rep.SupervisorDeltas)
+	}
+	d := rep.SupervisorDeltas[0]
+	if d.Base != "BenchmarkEngineContentionSupervisorOff/K=1-4" ||
+		d.With != "BenchmarkEngineContentionSupervisorOn/K=1-4" {
+		t.Fatalf("delta pair = %+v", d)
+	}
+	if d.Ratio < 1.04 || d.Ratio > 1.06 {
+		t.Fatalf("delta ratio = %v, want 168/160", d.Ratio)
+	}
+}

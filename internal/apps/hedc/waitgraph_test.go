@@ -1,0 +1,39 @@
+package hedc
+
+import (
+	"testing"
+	"time"
+
+	"cbreak/internal/core"
+	"cbreak/internal/waitgraph"
+)
+
+// Negative control for the wait-graph supervisor: hedc's bugs are data
+// races, not deadlocks — a supervised run must produce no deadlock
+// cycles and never latch Confirmed.
+func TestRacesProduceNoDeadlockCycles(t *testing.T) {
+	e := core.NewEngine()
+	sup := waitgraph.New(e, waitgraph.Config{Interval: time.Millisecond})
+	sup.Start()
+	defer sup.Stop()
+
+	for _, bug := range []Bug{Race1, Race2} {
+		Run(Config{Engine: e, Bug: bug, Breakpoint: true,
+			Timeout: 20 * time.Millisecond, Jitter: time.Millisecond})
+	}
+	// Let the supervisor look a few more times after the runs drain.
+	for target := sup.Scans() + 5; sup.Scans() < target; {
+		time.Sleep(time.Millisecond)
+	}
+
+	for _, r := range sup.Reports() {
+		if r.Kind == waitgraph.ReportDeadlock {
+			t.Fatalf("race run produced a deadlock cycle: %v", r)
+		}
+	}
+	select {
+	case <-sup.Confirmed():
+		t.Fatal("Confirmed latched on a race-only run")
+	default:
+	}
+}

@@ -1,0 +1,71 @@
+package jigsaw
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+	"cbreak/internal/waitgraph"
+)
+
+// The Figure 2 deadlock (killClients vs clientConnectionFinished) must
+// show up as a wait-graph cycle naming the factory monitor, the csList
+// monitor, and the paper's source lines — confirmed well before the
+// run's stall deadline.
+func TestDeadlock1ConfirmedByWaitGraph(t *testing.T) {
+	e := core.NewEngine()
+	sup := waitgraph.New(e, waitgraph.Config{Interval: time.Millisecond})
+	sup.Start()
+	defer sup.Stop()
+
+	const stallAfter = 1500 * time.Millisecond
+	start := time.Now()
+	resCh := make(chan appkit.Result, 1)
+	go func() {
+		resCh <- Run(Config{Engine: e, Bug: Deadlock1, Breakpoint: true,
+			Timeout: 2 * time.Second, StallAfter: stallAfter})
+	}()
+
+	select {
+	case <-sup.Confirmed():
+	case <-time.After(10 * time.Second):
+		t.Fatal("wait graph never confirmed the jigsaw deadlock")
+	}
+	confirmAt := time.Since(start)
+	if confirmAt > stallAfter/2 {
+		t.Fatalf("confirmation took %v, not well before the %v stall deadline", confirmAt, stallAfter)
+	}
+
+	var cycle *waitgraph.Report
+	for i, r := range sup.Reports() {
+		for _, l := range r.Locks {
+			if l == "jigsaw.factory" {
+				cycle = &sup.Reports()[i]
+			}
+		}
+	}
+	if cycle == nil {
+		t.Fatalf("no report names jigsaw.factory: %v", sup.Reports())
+	}
+	if cycle.Kind != waitgraph.ReportDeadlock {
+		t.Fatalf("kind = %s", cycle.Kind)
+	}
+	if len(cycle.GIDs) != 2 {
+		t.Fatalf("cycle gids = %v, want 2 goroutines", cycle.GIDs)
+	}
+	locks := strings.Join(cycle.Locks, ",")
+	if !strings.Contains(locks, "jigsaw.factory") || !strings.Contains(locks, "jigsaw.csList") {
+		t.Fatalf("cycle locks = %v", cycle.Locks)
+	}
+	sites := strings.Join(cycle.Sites, ",")
+	if !strings.Contains(sites, "SocketClientFactory.java:574") ||
+		!strings.Contains(sites, "SocketClientFactory.java:872") {
+		t.Fatalf("cycle sites = %v", cycle.Sites)
+	}
+
+	if res := <-resCh; res.Status != appkit.Stall {
+		t.Fatalf("repro status = %v, want stall", res.Status)
+	}
+}

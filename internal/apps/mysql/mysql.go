@@ -15,6 +15,12 @@
 //   - Server crash (MySQL 4.0.19, bug #3596, 3 CBRs): a DROP TABLE frees
 //     a table's row storage while a delayed-insert handler that already
 //     looked the table up dereferences it — a null-pointer crash.
+//
+//   - Deadlock (FLUSH-vs-DML, 1 CBR): a commit path that holds the
+//     catalog lock across its binlog append crosses a FLUSH LOGS path
+//     that holds the binlog lock across a catalog scan — the classic
+//     lock-order inversion, observable as a wait-graph cycle over
+//     mysql.catalog and mysql.binlog.
 package mysql
 
 import (
@@ -35,9 +41,10 @@ const (
 	BPOmitApply  = "mysql.omit.cbr1" // commit apply vs rotation snapshot
 	BPOmitAppend = "mysql.omit.cbr2" // binlog append vs rotation truncate
 	BPDisorder   = "mysql.disorder.cbr1"
-	BPCrashAlign = "mysql.crash.cbr1" // handler entry vs drop entry
-	BPCrashFree  = "mysql.crash.cbr2" // storage free vs row use
-	BPCrashHide  = "mysql.crash.cbr3" // map removal vs handler lookup
+	BPCrashAlign = "mysql.crash.cbr1"    // handler entry vs drop entry
+	BPCrashFree  = "mysql.crash.cbr2"    // storage free vs row use
+	BPCrashHide  = "mysql.crash.cbr3"    // map removal vs handler lookup
+	BPDeadlock   = "mysql.deadlock.cbr1" // catalog-vs-binlog lock order
 )
 
 // Row is one table row.
@@ -468,6 +475,37 @@ func (s *Server) DelayedInsert(table, value string) (err error) {
 	return nil
 }
 
+// commitWithBinlog models the DML side of the FLUSH-vs-DML deadlock: a
+// commit path that keeps the catalog lock across its binlog append (as
+// the original server does while the query cache and table locks are
+// pinned). The breakpoint pauses it between the two acquisitions so the
+// crossing FLUSH path can take the binlog lock first.
+func (s *Server) commitWithBinlog(value string) {
+	s.mu.LockAt("sql/sql_parse.cc:mysql_execute_command")
+	defer s.mu.Unlock()
+	if s.cfg.bug(Deadlock) {
+		s.cfg.bpDeadlock().Trigger(core.NewDeadlockTrigger(BPDeadlock, s.mu, s.binlog.mu), true,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	lsn := s.nextLSN.AtomicAdd("mysql:lsn", 1)
+	s.binlog.Append(LogRecord{LSN: lsn, SQL: "INSERT /* locked commit */ " + value})
+}
+
+// flushWithReadLock models the FLUSH LOGS side: rotation holds the
+// binlog lock while it walks the catalog to block new table writes —
+// the opposite acquisition order of commitWithBinlog.
+func (s *Server) flushWithReadLock() int {
+	s.binlog.mu.LockAt("sql/log.cc:rotate")
+	defer s.binlog.mu.Unlock()
+	if s.cfg.bug(Deadlock) {
+		s.cfg.bpDeadlock().Trigger(core.NewDeadlockTrigger(BPDeadlock, s.binlog.mu, s.mu), false,
+			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
+	}
+	locked := 0
+	s.mu.WithAt("sql/sql_table.cc:lock_table_names", func() { locked = len(s.tables) })
+	return locked
+}
+
 // dropTable removes the table and frees its storage: catalog removal,
 // then the free — with breakpoint windows aligning it against a
 // concurrent delayed insert.
@@ -501,11 +539,13 @@ func (s *Server) dropTable(name string) error {
 // Bug selects which Table 2 bug a run exercises.
 type Bug int
 
-// The MySQL bugs of Table 2.
+// The MySQL bugs of Table 2, plus the FLUSH-vs-DML deadlock used by the
+// wait-graph supervision row.
 const (
 	LogOmission Bug = iota // bug #791
 	LogDisorder            // bug #169
 	ServerCrash            // bug #3596
+	Deadlock               // FLUSH-vs-DML lock-order inversion
 )
 
 // Config parameterizes a run.
@@ -514,6 +554,9 @@ type Config struct {
 	Bug        Bug
 	Breakpoint bool
 	Timeout    time.Duration
+	// StallAfter bounds stall detection for the Deadlock bug (default
+	// 2s); the other bugs never stall and keep the long safety deadline.
+	StallAfter time.Duration
 
 	// bps caches the run's breakpoint handles, resolved once in Run so
 	// the trigger sites skip the per-call registry lookup. Left nil when
@@ -528,6 +571,7 @@ type Config struct {
 type bpHandles struct {
 	omitApply, omitAppend, disorder  *core.Breakpoint
 	crashAlign, crashFree, crashHide *core.Breakpoint
+	deadlock                         *core.Breakpoint
 }
 
 func (c *Config) resolveHandles() {
@@ -538,6 +582,7 @@ func (c *Config) resolveHandles() {
 		crashAlign: c.Engine.Breakpoint(BPCrashAlign),
 		crashFree:  c.Engine.Breakpoint(BPCrashFree),
 		crashHide:  c.Engine.Breakpoint(BPCrashHide),
+		deadlock:   c.Engine.Breakpoint(BPDeadlock),
 	}
 }
 
@@ -572,6 +617,17 @@ func (c *Config) bpCrashHide() *core.Breakpoint {
 	return c.handle(func(h *bpHandles) *core.Breakpoint { return h.crashHide }, BPCrashHide)
 }
 
+func (c *Config) bpDeadlock() *core.Breakpoint {
+	return c.handle(func(h *bpHandles) *core.Breakpoint { return h.deadlock }, BPDeadlock)
+}
+
+func (c *Config) stallAfter() time.Duration {
+	if c.StallAfter <= 0 {
+		return 2 * time.Second
+	}
+	return c.StallAfter
+}
+
 func (c *Config) bug(b Bug) bool {
 	return c != nil && c.Breakpoint && c.Bug == b
 }
@@ -585,12 +641,20 @@ func Run(cfg Config) appkit.Result {
 	cfg.resolveHandles()
 	srv := NewServer(&cfg)
 	srv.CreateTable("t1")
-	res := appkit.RunWithDeadline(60*time.Second, func() appkit.Result {
+	deadline := 60 * time.Second
+	if cfg.Bug == Deadlock {
+		// The deadlock repro IS a stall: detect it at the configured
+		// stall deadline rather than the long safety net.
+		deadline = cfg.stallAfter()
+	}
+	res := appkit.RunWithDeadline(deadline, func() appkit.Result {
 		switch cfg.Bug {
 		case LogOmission:
 			return runOmission(srv)
 		case LogDisorder:
 			return runDisorder(srv)
+		case Deadlock:
+			return runDeadlockRepro(srv)
 		default:
 			return runCrash(srv)
 		}
@@ -600,10 +664,33 @@ func Run(cfg Config) appkit.Result {
 		res.BPHit = cfg.Engine.Stats(BPOmitAppend).Hits() > 0
 	case LogDisorder:
 		res.BPHit = cfg.Engine.Stats(BPDisorder).Hits() > 0
+	case Deadlock:
+		res.BPHit = cfg.Engine.Stats(BPDeadlock).Hits() > 0
 	default:
 		res.BPHit = cfg.Engine.Stats(BPCrashFree).Hits() > 0
 	}
 	return res
+}
+
+// runDeadlockRepro races a locked commit against a FLUSH LOGS rotation.
+// With the breakpoint the two sides rendezvous while each holds its
+// first lock, then cross — a guaranteed lock cycle the wait-graph
+// supervisor confirms in milliseconds; without it the window is a few
+// instructions wide and the run completes.
+func runDeadlockRepro(srv *Server) appkit.Result {
+	done := make(chan struct{}, 2)
+	go func() {
+		srv.commitWithBinlog("d1")
+		done <- struct{}{}
+	}()
+	go func() {
+		time.Sleep(time.Millisecond)
+		srv.flushWithReadLock()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	return appkit.Result{Status: appkit.OK}
 }
 
 func runOmission(srv *Server) appkit.Result {

@@ -1,0 +1,89 @@
+package mysql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+	"cbreak/internal/waitgraph"
+)
+
+// The FLUSH-vs-DML deadlock must be classified by the wait-graph
+// supervisor well before the repro's own stall deadline, naming the
+// exact locks, classes, and wait sites of the cycle.
+func TestDeadlockReproConfirmedByWaitGraph(t *testing.T) {
+	e := core.NewEngine()
+	sup := waitgraph.New(e, waitgraph.Config{Interval: time.Millisecond})
+	sup.Start()
+	defer sup.Stop()
+
+	const stallAfter = 1500 * time.Millisecond
+	start := time.Now()
+	resCh := make(chan appkit.Result, 1)
+	go func() {
+		resCh <- Run(Config{Engine: e, Bug: Deadlock, Breakpoint: true,
+			Timeout: 2 * time.Second, StallAfter: stallAfter})
+	}()
+
+	select {
+	case <-sup.Confirmed():
+	case <-time.After(10 * time.Second):
+		t.Fatal("wait graph never confirmed the mysql deadlock")
+	}
+	confirmAt := time.Since(start)
+	if confirmAt > stallAfter/2 {
+		t.Fatalf("confirmation took %v, not well before the %v stall deadline", confirmAt, stallAfter)
+	}
+
+	var cycle *waitgraph.Report
+	for i, r := range sup.Reports() {
+		for _, l := range r.Locks {
+			if l == "mysql.binlog" {
+				cycle = &sup.Reports()[i]
+			}
+		}
+	}
+	if cycle == nil {
+		t.Fatalf("no report names mysql.binlog: %v", sup.Reports())
+	}
+	if cycle.Kind != waitgraph.ReportDeadlock {
+		t.Fatalf("kind = %s", cycle.Kind)
+	}
+	if len(cycle.GIDs) != 2 {
+		t.Fatalf("cycle gids = %v, want 2 goroutines", cycle.GIDs)
+	}
+	locks := strings.Join(cycle.Locks, ",")
+	if !strings.Contains(locks, "mysql.binlog") || !strings.Contains(locks, "mysql.catalog") {
+		t.Fatalf("cycle locks = %v", cycle.Locks)
+	}
+	sites := strings.Join(cycle.Sites, ",")
+	if !strings.Contains(sites, "sql/log.cc:append") ||
+		!strings.Contains(sites, "sql/sql_table.cc:lock_table_names") {
+		t.Fatalf("cycle sites = %v", cycle.Sites)
+	}
+	if len(cycle.Breakpoints) != 0 {
+		t.Fatalf("application-only cycle lists breakpoints: %v", cycle.Breakpoints)
+	}
+
+	// The repro itself still classifies as a stall at its deadline —
+	// the supervisor's diagnosis just arrives much earlier.
+	res := <-resCh
+	if res.Status != appkit.Stall {
+		t.Fatalf("repro status = %v, want stall", res.Status)
+	}
+	if !res.BPHit {
+		t.Fatal("deadlock breakpoint never hit")
+	}
+}
+
+// Without the breakpoint the lock-order window is a few instructions
+// wide: the repro completes.
+func TestDeadlockReproCompletesWithoutBreakpoint(t *testing.T) {
+	res := Run(Config{Engine: core.NewEngine(), Bug: Deadlock, Breakpoint: false,
+		Timeout: 10 * time.Millisecond, StallAfter: 5 * time.Second})
+	if res.Status != appkit.OK {
+		t.Fatalf("status = %v, want ok", res.Status)
+	}
+}

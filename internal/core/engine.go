@@ -44,6 +44,18 @@ type Engine struct {
 	eventSeq atomic.Uint64 // global event sequence; orders the merged Events() view
 	onHit    atomic.Pointer[onHitBox]
 
+	// postponedTotal counts currently-postponed goroutines across all
+	// shards (two-way and multi-way). Maintained at the shard append /
+	// remove sites; the overload layer (overload.go) and the wait-graph
+	// supervisor read it lock-free.
+	postponedTotal atomic.Int64
+
+	// Overload protection (overload.go): bounded postponed populations
+	// and adaptive postponement budgets, configured like the breaker
+	// (atomic pointer + lazy per-shard epoch rebuild).
+	overloadCfg atomic.Pointer[OverloadConfig]
+	ovEpoch     atomic.Uint64
+
 	// Hardening layer (hardening.go): incident log, circuit-breaker
 	// configuration, fault injector, action-panic policy, watchdog.
 	incidents           guard.IncidentLog
@@ -272,16 +284,34 @@ func (e *Engine) trigger(s *bpState, t Trigger, first bool, opts Options, action
 		return OutcomeHit
 	}
 
-	// No partner yet: postpone ourselves.
+	// No partner yet: postpone ourselves — if the overload layer admits
+	// another waiter. At the bound the arrival is shed instead: it
+	// passes straight through like a tripped breaker's, trading hit
+	// probability for a bounded postponed population.
+	ov := s.overloadFor(e)
+	global := e.postponedTotal.Load()
+	if reason, shed := ov.shedReason(len(s.postponed)+len(s.multi), global); shed {
+		s.mu.Unlock()
+		st.shed(first)
+		e.recordIncident(guard.KindOverloadShed, name, gid, reason)
+		if e.execAction(name, gid, st, fault, 0, action) {
+			return OutcomePanic
+		}
+		return OutcomeShed
+	}
+	// Under pressure the granted budget shrinks below the requested
+	// timeout (overload.go), draining the backlog faster as it grows.
+	budget := ov.budget(timeout, global)
 	w = &waiter{t: t, first: first, gid: gid, seq: e.seq.Add(1),
 		ch: make(chan matchResult, 1), cancelCh: make(chan struct{}), action: action,
-		deadline: time.Now().Add(timeout)}
+		deadline: time.Now().Add(budget)}
 	s.postponed = append(s.postponed, w)
+	e.postponedTotal.Add(1)
 	st.postpone(first)
 	s.mu.Unlock()
 	e.logEvent(s, EventPostponed, gid, first)
 
-	selectTimeout := timeout
+	selectTimeout := budget
 	if fault.WedgeWait {
 		// Injected broken timer: only a partner, Reset, or the watchdog
 		// can release this waiter.

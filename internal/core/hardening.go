@@ -79,6 +79,14 @@ func (e *Engine) recordIncident(k guard.IncidentKind, name string, gid uint64, d
 	e.incidents.Record(guard.Incident{Kind: k, Breakpoint: name, GID: gid, Detail: detail})
 }
 
+// RecordIncident appends an incident to the engine's log on behalf of
+// an external supervision layer (the wait-graph supervisor records its
+// deadlock confirmations here, so one log tells the whole hardening
+// story).
+func (e *Engine) RecordIncident(k guard.IncidentKind, name string, gid uint64, detail string) {
+	e.recordIncident(k, name, gid, detail)
+}
+
 // SetBreakerConfig enables per-breakpoint circuit breakers with the
 // given configuration (zero fields take guard defaults), or disables
 // them when cfg is nil. Existing breaker state is discarded either way:
@@ -297,33 +305,21 @@ func (e *Engine) WatchdogRunning() bool {
 // and returns how many it released. The scan walks the shard registry
 // and locks one shard at a time, so a slow scan never stalls arrivals
 // on unrelated breakpoints (no stop-the-world pass). Retired shards
-// need no scan: retire() already released their waiters.
+// need no scan: retire() already released their waiters. Releases go
+// through the engine's shared forced-release path (supervise.go), so a
+// watchdog release and a wait-graph cycle break targeting the same
+// goroutine can never double-release it.
 func (e *Engine) watchdogScan(now time.Time, grace time.Duration) int {
-	type release struct {
-		name string
-		gid  uint64
-		over time.Duration
-	}
-	var releases []release
+	n := 0
 	for _, s := range e.shards() {
-		s.mu.Lock()
-		for _, w := range append([]*waiter(nil), s.postponed...) {
-			if w.state == waiterWaiting && now.After(w.deadline.Add(grace)) {
-				s.releaseWaiterLocked(w, OutcomeTimeout)
-				releases = append(releases, release{s.name, w.gid, now.Sub(w.deadline)})
-			}
+		rel := e.forceReleaseShard(s, func(_ uint64, deadline time.Time) bool {
+			return now.After(deadline.Add(grace))
+		})
+		for _, r := range rel {
+			e.recordIncident(guard.KindWatchdogRelease, s.name, r.gid,
+				fmt.Sprintf("force-released %s past postponement budget", now.Sub(r.deadline).Round(time.Millisecond)))
 		}
-		for _, w := range append([]*mwaiter(nil), s.multi...) {
-			if w.state == waiterWaiting && now.After(w.deadline.Add(grace)) {
-				s.releaseMultiWaiterLocked(w, OutcomeTimeout)
-				releases = append(releases, release{s.name, w.gid, now.Sub(w.deadline)})
-			}
-		}
-		s.mu.Unlock()
+		n += len(rel)
 	}
-	for _, r := range releases {
-		e.recordIncident(guard.KindWatchdogRelease, r.name, r.gid,
-			fmt.Sprintf("force-released %s past postponement budget", r.over.Round(time.Millisecond)))
-	}
-	return len(releases)
+	return n
 }

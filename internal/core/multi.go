@@ -146,15 +146,29 @@ func (e *Engine) triggerMulti(s *bpState, t Trigger, slot, arity int, opts Optio
 		return e.runChainStage(name, gid, st, fault, chain[slot], chain[slot+1], action, timeout)
 	}
 
-	// Postpone.
+	// Postpone — subject to the same overload bounds and adaptive
+	// budget as the two-way path (engine.go).
+	ov := s.overloadFor(e)
+	global := e.postponedTotal.Load()
+	if reason, shed := ov.shedReason(len(s.postponed)+len(s.multi), global); shed {
+		s.mu.Unlock()
+		st.shed(slot == 0)
+		e.recordIncident(guard.KindOverloadShed, name, gid, reason)
+		if e.execAction(name, gid, st, fault, 0, action) {
+			return OutcomePanic
+		}
+		return OutcomeShed
+	}
+	budget := ov.budget(timeout, global)
 	w := &mwaiter{t: t, slot: slot, arity: arity, gid: gid, seq: e.seq.Add(1),
 		ch: make(chan mmatch, 1), cancelCh: make(chan struct{}), action: action,
-		deadline: time.Now().Add(timeout)}
+		deadline: time.Now().Add(budget)}
 	s.multi = append(s.multi, w)
+	e.postponedTotal.Add(1)
 	st.postpone(slot == 0)
 	s.mu.Unlock()
 
-	selectTimeout := timeout
+	selectTimeout := budget
 	if fault.WedgeWait {
 		selectTimeout = wedgedTimeout
 	}

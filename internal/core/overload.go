@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the engine's overload-protection layer. Postponement is
+// the engine's only unbounded resource: every postponed goroutine pins
+// a waiter, a timer, and — in the deadlock reproductions — possibly an
+// application lock. Under a stampede (a hot breakpoint in a busy
+// service, a predicate that suddenly matches everything) the postponed
+// population must not grow without bound. The layer bounds it three
+// ways, all off by default:
+//
+//   - a per-shard cap on one breakpoint's postponed population,
+//   - a global high-water mark above which arrivals are shed outright
+//     (OutcomeShed, mirroring the circuit breaker's degradation path),
+//   - an adaptive postponement budget: between the soft water mark and
+//     the high-water mark, granted budgets shrink linearly toward a
+//     floor, so the backlog drains faster the fuller it gets.
+//
+// Configuration uses the breaker's epoch plumbing (shard.breakerFor):
+// SetOverloadConfig stores the config behind an atomic pointer and
+// bumps an epoch; each shard revalidates its cached copy lazily on
+// next use, so reconfiguration never stops the world.
+
+// OverloadConfig bounds the engine's postponed populations. Zero-value
+// fields disable the corresponding bound.
+type OverloadConfig struct {
+	// MaxPerShard caps one breakpoint's postponed population (two-way
+	// plus multi-way waiters). An arrival that would exceed it is shed.
+	// 0 disables the per-shard bound.
+	MaxPerShard int
+
+	// GlobalHighWater caps the engine-wide postponed population; at or
+	// above it new arrivals are shed instead of postponed. 0 disables
+	// the global bound.
+	GlobalHighWater int
+
+	// SoftWater is the global population where adaptive budgeting
+	// begins: between SoftWater and GlobalHighWater the granted
+	// postponement budget shrinks linearly from the requested timeout
+	// down to MinBudget. 0 defaults to GlobalHighWater/2.
+	SoftWater int
+
+	// MinBudget floors the adaptive budget. 0 defaults to 1ms.
+	MinBudget time.Duration
+}
+
+// defaultMinBudget floors adaptive postponement budgets when the
+// config leaves MinBudget zero.
+const defaultMinBudget = time.Millisecond
+
+// SetOverloadConfig installs (or, with nil, removes) the engine's
+// overload bounds. Reconfiguration follows the breaker's epoch scheme:
+// shards revalidate their cached config lazily, so this never stops
+// the world.
+func (e *Engine) SetOverloadConfig(cfg *OverloadConfig) {
+	if cfg == nil {
+		e.overloadCfg.Store(nil)
+	} else {
+		c := *cfg
+		e.overloadCfg.Store(&c)
+	}
+	e.ovEpoch.Add(1)
+}
+
+// PostponedTotal returns the engine-wide count of currently postponed
+// goroutines (two-way and multi-way, all breakpoints).
+func (e *Engine) PostponedTotal() int64 { return e.postponedTotal.Load() }
+
+// overloadFor returns the shard's cached overload config under the
+// engine's current epoch, or nil when overload protection is disabled.
+// Same lazy-rebuild scheme as breakerFor.
+func (s *bpState) overloadFor(e *Engine) *OverloadConfig {
+	cfg := e.overloadCfg.Load()
+	if cfg == nil {
+		return nil
+	}
+	epoch := e.ovEpoch.Load()
+	s.brMu.Lock()
+	if s.overload == nil || s.ovEpoch != epoch {
+		s.overload = cfg
+		s.ovEpoch = epoch
+	}
+	cfg = s.overload
+	s.brMu.Unlock()
+	return cfg
+}
+
+// shedReason reports whether an arrival must be shed instead of
+// postponed, given the shard's current postponed population and the
+// engine-wide total, and if so why. A nil config never sheds.
+func (cfg *OverloadConfig) shedReason(shardPop int, global int64) (string, bool) {
+	if cfg == nil {
+		return "", false
+	}
+	if cfg.MaxPerShard > 0 && shardPop >= cfg.MaxPerShard {
+		return fmt.Sprintf("shard postponed population %d at bound %d", shardPop, cfg.MaxPerShard), true
+	}
+	if cfg.GlobalHighWater > 0 && global >= int64(cfg.GlobalHighWater) {
+		return fmt.Sprintf("global postponed population %d at high water %d", global, cfg.GlobalHighWater), true
+	}
+	return "", false
+}
+
+// budget returns the postponement budget granted for a requested
+// timeout at the current global postponed population: the request
+// itself below the soft water mark, shrinking linearly to MinBudget at
+// the high-water mark.
+func (cfg *OverloadConfig) budget(req time.Duration, global int64) time.Duration {
+	if cfg == nil || cfg.GlobalHighWater <= 0 {
+		return req
+	}
+	soft := cfg.SoftWater
+	if soft <= 0 {
+		soft = cfg.GlobalHighWater / 2
+	}
+	if global <= int64(soft) {
+		return req
+	}
+	min := cfg.MinBudget
+	if min <= 0 {
+		min = defaultMinBudget
+	}
+	if req <= min {
+		return req
+	}
+	span := int64(cfg.GlobalHighWater - soft)
+	if span <= 0 {
+		return min
+	}
+	over := global - int64(soft)
+	if over >= span {
+		return min
+	}
+	return req - time.Duration(over)*(req-min)/time.Duration(span)
+}

@@ -25,6 +25,7 @@ import (
 type bpState struct {
 	name  string
 	stats *BPStats
+	eng   *Engine // owning engine, for global postponed accounting
 
 	// mu guards the postponed lists, the waiter state machines, and the
 	// retired flag. It is the only lock on the rendezvous path, and it
@@ -41,14 +42,19 @@ type bpState struct {
 	breaker *guard.Breaker
 	brEpoch uint64
 
+	// Overload-config cache, same lazy-epoch scheme as the breaker
+	// (overload.go). Guarded by brMu.
+	overload *OverloadConfig
+	ovEpoch  uint64
+
 	// events is this breakpoint's slice of the engine event history
 	// (events.go). Its internal mutex is per-shard, so logging a hit on
 	// one breakpoint never serializes against another.
 	events eventRing
 }
 
-func newShard(name string) *bpState {
-	return &bpState{name: name, stats: &BPStats{name: name}}
+func newShard(e *Engine, name string) *bpState {
+	return &bpState{name: name, stats: &BPStats{name: name}, eng: e}
 }
 
 // shard resolves (creating on first use) the live shard for name. The
@@ -58,7 +64,7 @@ func (e *Engine) shard(name string) *bpState {
 	if v, ok := reg.Load(name); ok {
 		return v.(*bpState)
 	}
-	v, _ := reg.LoadOrStore(name, newShard(name))
+	v, _ := reg.LoadOrStore(name, newShard(e, name))
 	return v.(*bpState)
 }
 
@@ -104,11 +110,13 @@ func (e *Engine) lockLive(s *bpState) *bpState {
 func (s *bpState) retire() {
 	s.mu.Lock()
 	s.retired.Store(true)
+	var released int64
 	for _, w := range s.postponed {
 		if w.state == waiterWaiting {
 			w.state = waiterCancelled
 			w.cancelOutcome = OutcomeTimeout
 			close(w.cancelCh)
+			released++
 		}
 	}
 	for _, w := range s.multi {
@@ -116,9 +124,11 @@ func (s *bpState) retire() {
 			w.state = waiterCancelled
 			w.cancelOutcome = OutcomeTimeout
 			close(w.cancelCh)
+			released++
 		}
 	}
 	s.postponed, s.multi = nil, nil
+	s.eng.postponedTotal.Add(-released)
 	s.mu.Unlock()
 }
 
@@ -167,6 +177,7 @@ func (s *bpState) removeWaiter(w *waiter) {
 		if x == w {
 			ws[i] = ws[len(ws)-1]
 			s.postponed = ws[:len(ws)-1]
+			s.eng.postponedTotal.Add(-1)
 			return
 		}
 	}
@@ -178,6 +189,7 @@ func (s *bpState) removeMultiWaiter(w *mwaiter) {
 		if x == w {
 			ws[i] = ws[len(ws)-1]
 			s.multi = ws[:len(ws)-1]
+			s.eng.postponedTotal.Add(-1)
 			return
 		}
 	}

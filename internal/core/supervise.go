@@ -1,0 +1,117 @@
+package core
+
+import (
+	"time"
+
+	"cbreak/internal/guard"
+)
+
+// This file is the engine's supervision surface: waiter enumeration for
+// the wait-graph supervisor (internal/waitgraph) and the single forced-
+// release path shared by the watchdog and the supervisor.
+//
+// Forced release is deliberately funneled through one helper,
+// forceReleaseShard: the waiter state machine under the shard mutex
+// (waiterWaiting → waiterCancelled, cancelCh closed exactly once) makes
+// a release idempotent, so the watchdog, a cycle-breaking supervisor,
+// and a racing Reset can all target the same goroutine without a
+// double close or a double count.
+
+// PostponedWaiter describes one currently-postponed goroutine, as seen
+// by the wait-graph supervisor: which breakpoint it is parked on, which
+// side/slot it arrived at, and when its postponement budget expires.
+type PostponedWaiter struct {
+	// Breakpoint is the breakpoint name the goroutine is postponed on.
+	Breakpoint string
+	// GID is the postponed goroutine.
+	GID uint64
+	// Slot is the arrival's slot (for two-way breakpoints: 0 for the
+	// first-action side, 1 for the second) and Arity the breakpoint's
+	// arity (2 for two-way).
+	Slot, Arity int
+	// Deadline is when the postponement budget expires.
+	Deadline time.Time
+}
+
+// PostponedWaiters snapshots every currently-postponed goroutine across
+// all shards, two-way and multi-way. The snapshot locks one shard at a
+// time, so assembling it never stops the world; entries may be stale by
+// the time the caller acts on them, which forced release tolerates.
+func (e *Engine) PostponedWaiters() []PostponedWaiter {
+	var out []PostponedWaiter
+	for _, s := range e.shards() {
+		s.mu.Lock()
+		for _, w := range s.postponed {
+			if w.state != waiterWaiting {
+				continue
+			}
+			slot := 1
+			if w.first {
+				slot = 0
+			}
+			out = append(out, PostponedWaiter{Breakpoint: s.name, GID: w.gid,
+				Slot: slot, Arity: 2, Deadline: w.deadline})
+		}
+		for _, w := range s.multi {
+			if w.state != waiterWaiting {
+				continue
+			}
+			out = append(out, PostponedWaiter{Breakpoint: s.name, GID: w.gid,
+				Slot: w.slot, Arity: w.arity, Deadline: w.deadline})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// releasedWaiter identifies one waiter freed by a forced release.
+type releasedWaiter struct {
+	gid      uint64
+	deadline time.Time
+}
+
+// forceReleaseShard force-releases every currently-waiting waiter on s
+// (two-way and multi-way) matched by the predicate, with a timeout
+// outcome — the released goroutine observes exactly what an expired
+// postponement budget would have produced, which is the paper's safety
+// argument for early release. This is the only forced-release path:
+// the watchdog and ForceRelease both go through it, and the state check
+// under the shard mutex makes concurrent releases of the same waiter
+// idempotent.
+func (e *Engine) forceReleaseShard(s *bpState, match func(gid uint64, deadline time.Time) bool) []releasedWaiter {
+	var out []releasedWaiter
+	s.mu.Lock()
+	for _, w := range append([]*waiter(nil), s.postponed...) {
+		if w.state == waiterWaiting && match(w.gid, w.deadline) {
+			s.releaseWaiterLocked(w, OutcomeTimeout)
+			out = append(out, releasedWaiter{w.gid, w.deadline})
+		}
+	}
+	for _, w := range append([]*mwaiter(nil), s.multi...) {
+		if w.state == waiterWaiting && match(w.gid, w.deadline) {
+			s.releaseMultiWaiterLocked(w, OutcomeTimeout)
+			out = append(out, releasedWaiter{w.gid, w.deadline})
+		}
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// ForceRelease releases the goroutine gid postponed on the named
+// breakpoint, if it is still postponed, recording an incident of the
+// given kind. It reports whether a waiter was actually released: false
+// means the goroutine had already been matched, timed out, or released
+// by another mechanism (watchdog, Reset), so callers can treat the
+// release as exactly-once.
+func (e *Engine) ForceRelease(name string, gid uint64, kind guard.IncidentKind, detail string) bool {
+	s, ok := e.lookupShard(name)
+	if !ok {
+		return false
+	}
+	rel := e.forceReleaseShard(s, func(g uint64, _ time.Time) bool { return g == gid })
+	if len(rel) == 0 {
+		return false
+	}
+	e.recordIncident(kind, name, gid, detail)
+	return true
+}

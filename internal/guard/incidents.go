@@ -29,9 +29,20 @@ const (
 	// KindBreakerRearm: a half-open probe succeeded and the breaker
 	// closed again.
 	KindBreakerRearm
+	// KindCycleBreak: the wait-graph supervisor force-released a
+	// postponed goroutine to break a lock cycle it participated in.
+	KindCycleBreak
+	// KindDeadlockConfirmed: the wait-graph supervisor confirmed an
+	// application-only lock cycle (a true deadlock, no postponement
+	// edge to break).
+	KindDeadlockConfirmed
+	// KindOverloadShed: an arrival was shed without postponement
+	// because the engine's postponed population exceeded its
+	// configured overload bounds.
+	KindOverloadShed
 )
 
-const incidentKindCount = int(KindBreakerRearm) + 1
+const incidentKindCount = int(KindOverloadShed) + 1
 
 // Kinds returns every incident kind, in declaration order, for
 // consumers that aggregate counts across all kinds (campaign trial
@@ -59,6 +70,12 @@ func (k IncidentKind) String() string {
 		return "breaker-probe"
 	case KindBreakerRearm:
 		return "breaker-rearm"
+	case KindCycleBreak:
+		return "cycle-break"
+	case KindDeadlockConfirmed:
+		return "deadlock-confirmed"
+	case KindOverloadShed:
+		return "overload-shed"
 	default:
 		return "unknown"
 	}

@@ -103,15 +103,15 @@ func TestTable1RowsComplete(t *testing.T) {
 
 func TestTable2RowsComplete(t *testing.T) {
 	rows := Table2Rows()
-	if len(rows) != 6 {
-		t.Fatalf("Table 2 rows = %d, want 6", len(rows))
+	if len(rows) != 7 {
+		t.Fatalf("Table 2 rows = %d, want 7", len(rows))
 	}
 	totalCBRs := 0
 	for _, r := range rows {
 		totalCBRs += r.CBRs
 	}
-	if totalCBRs != 12 {
-		t.Fatalf("total CBRs = %d, want 12 (2+1+3+2+1+3)", totalCBRs)
+	if totalCBRs != 13 {
+		t.Fatalf("total CBRs = %d, want 13 (2+1+3+2+1+3+1)", totalCBRs)
 	}
 }
 
@@ -123,7 +123,7 @@ func TestSmokeSmallTables(t *testing.T) {
 		t.Skip("table smoke test is slow")
 	}
 	t2 := Table2(1)
-	if len(t2.Rows) != 6 {
+	if len(t2.Rows) != 7 {
 		t.Fatalf("Table2 rows = %d", len(t2.Rows))
 	}
 	for _, row := range t2.Rows {

@@ -238,6 +238,11 @@ func Table2Rows() []struct {
 		{"MySQL 4.0.19", "server crash", 3, "null pointer dereference (Bug #3596)", func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
 			return mysql.Run(mysql.Config{Engine: e, Bug: mysql.ServerCrash, Breakpoint: bp, Timeout: to})
 		}},
+		// Appended after the original six: row indices are campaign
+		// checkpoint keys, so new rows only ever go at the end.
+		{"MySQL 4.0.x", "deadlock", 1, "FLUSH LOGS vs DML lock order", func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
+			return mysql.Run(mysql.Config{Engine: e, Bug: mysql.Deadlock, Breakpoint: bp, Timeout: to, StallAfter: StallDeadline})
+		}},
 	}
 }
 

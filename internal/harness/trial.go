@@ -8,6 +8,7 @@ import (
 
 	"cbreak/internal/apps/appkit"
 	"cbreak/internal/core"
+	"cbreak/internal/waitgraph"
 )
 
 // TrialKey is the stable address of one measurement configuration: a
@@ -65,27 +66,74 @@ type TrialOutcome struct {
 	// Incidents holds the guard incident totals (panics, stalls,
 	// watchdog releases, breaker transitions) keyed by kind label.
 	Incidents map[string]int64 `json:"incidents,omitempty"`
+	// Cycles holds the wait-graph supervisor's confirmed findings for
+	// the trial — deadlock cycles and postponement stalls, each naming
+	// the goroutines, locks, classes, sites, and breakpoints involved.
+	// Campaign journals embed the full outcome, so a deadlocked trial's
+	// checkpoint record carries its own diagnosis.
+	Cycles []waitgraph.Report `json:"cycles,omitempty"`
 }
 
 // outcomeFrom snapshots the engine's counters around a finished (or
 // abandoned) trial. Snapshots are atomic, so reading them while an
 // abandoned trial goroutine still runs is safe.
-func outcomeFrom(e *core.Engine, res appkit.Result) TrialOutcome {
+func outcomeFrom(e *core.Engine, sup *waitgraph.Supervisor, res appkit.Result) TrialOutcome {
 	out := TrialOutcome{Result: res, Stats: e.SnapshotAll(), Incidents: e.IncidentCounts()}
+	if sup != nil {
+		out.Cycles = sup.Reports()
+	}
 	for _, s := range out.Stats {
 		out.BPWait += s.TotalWait
 	}
 	return out
 }
 
+// trialSupervisor starts the per-trial wait-graph supervisor. Every
+// trial gets one: a confirmed application deadlock classifies the trial
+// as a stall in milliseconds instead of waiting out the app's own stall
+// deadline (or the per-trial wall clock), and a confirmed postponement
+// stall is healed through the engine's shared forced-release path.
+func trialSupervisor(e *core.Engine) *waitgraph.Supervisor {
+	sup := waitgraph.New(e, waitgraph.Config{})
+	sup.Start()
+	return sup
+}
+
+// confirmedStall builds the early-exit result for a wait-graph deadlock
+// confirmation, naming the cycle in the detail.
+func confirmedStall(sup *waitgraph.Supervisor, elapsed time.Duration) appkit.Result {
+	detail := "wait-graph deadlock confirmed"
+	for _, r := range sup.Reports() {
+		if r.Kind == waitgraph.ReportDeadlock {
+			detail = "wait-graph deadlock confirmed: " + r.Desc
+			break
+		}
+	}
+	return appkit.Result{Status: appkit.Stall, Detail: detail, Elapsed: elapsed}
+}
+
 // RunTrial executes one trial of the spec on a fresh engine with no
-// deadline, in the calling goroutine.
+// deadline. The trial body runs on its own goroutine WITHOUT a recover
+// wrapper: a panicking trial still crashes the worker process (the
+// campaign supervisor's WorkerCrash classification depends on that),
+// while the calling goroutine stays free to classify a confirmed
+// deadlock early instead of blocking forever on the wedged trial.
 func RunTrial(spec TrialSpec) TrialOutcome {
 	e := core.NewEngine()
 	if !spec.Breakpoint {
 		e.SetEnabled(false)
 	}
-	return outcomeFrom(e, spec.Run(e, spec.Breakpoint, spec.Timeout))
+	sup := trialSupervisor(e)
+	defer sup.Stop()
+	start := time.Now()
+	done := make(chan appkit.Result, 1)
+	go func() { done <- spec.Run(e, spec.Breakpoint, spec.Timeout) }()
+	select {
+	case res := <-done:
+		return outcomeFrom(e, sup, res)
+	case <-sup.Confirmed():
+		return outcomeFrom(e, sup, confirmedStall(sup, time.Since(start)))
+	}
 }
 
 // RunTrialCtx executes one trial with a hard per-trial wall-clock
@@ -94,12 +142,16 @@ func RunTrial(spec TrialSpec) TrialOutcome {
 // the goroutine is abandoned — exactly how appkit.RunWithDeadline
 // detects stalls — and the trial reports appkit.TrialTimeout with
 // best-effort engine snapshots. This is the in-process answer to a
-// RunFunc that hangs: Measure no longer blocks forever on it.
+// RunFunc that hangs: Measure no longer blocks forever on it. A
+// wait-graph deadlock confirmation short-circuits the same way, but as
+// an application Stall carrying the cycle diagnosis.
 func RunTrialCtx(ctx context.Context, deadline time.Duration, spec TrialSpec) TrialOutcome {
 	e := core.NewEngine()
 	if !spec.Breakpoint {
 		e.SetEnabled(false)
 	}
+	sup := trialSupervisor(e)
+	defer sup.Stop()
 	start := time.Now()
 	done := make(chan appkit.Result, 1)
 	go func() {
@@ -123,6 +175,8 @@ func RunTrialCtx(ctx context.Context, deadline time.Duration, spec TrialSpec) Tr
 	var res appkit.Result
 	select {
 	case res = <-done:
+	case <-sup.Confirmed():
+		res = confirmedStall(sup, time.Since(start))
 	case <-expire:
 		res = appkit.Result{Status: appkit.TrialTimeout,
 			Detail: fmt.Sprintf("trial exceeded %s deadline", deadline), Elapsed: deadline}
@@ -130,7 +184,7 @@ func RunTrialCtx(ctx context.Context, deadline time.Duration, spec TrialSpec) Tr
 		res = appkit.Result{Status: appkit.TrialTimeout,
 			Detail: "trial cancelled: " + ctx.Err().Error(), Elapsed: time.Since(start)}
 	}
-	return outcomeFrom(e, res)
+	return outcomeFrom(e, sup, res)
 }
 
 // TrialSeed derives the deterministic per-trial seed from the campaign

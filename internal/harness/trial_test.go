@@ -2,13 +2,16 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"cbreak/internal/apps/appkit"
+	"cbreak/internal/apps/mysql"
 	"cbreak/internal/core"
+	"cbreak/internal/waitgraph"
 )
 
 func TestRunTrialCtxDeadlineAbandonsHungTrial(t *testing.T) {
@@ -213,5 +216,61 @@ func TestQuarantinedRowRendersPartialMarker(t *testing.T) {
 	text := tbl.Render()
 	if !strings.Contains(text, "(partial)") {
 		t.Fatalf("quarantined rows missing partial marker:\n%s", text)
+	}
+}
+
+// The per-trial wait-graph supervisor must classify a confirmed
+// application deadlock in milliseconds — long before the app's own
+// stall deadline or the per-trial wall clock — and the journaled
+// outcome must carry the cycle diagnosis through a JSON round-trip.
+func TestRunTrialCtxConfirmsDeadlockEarly(t *testing.T) {
+	spec := TrialSpec{
+		Key:        TrialKey{Table: "test", Row: 0, Variant: VariantWith},
+		Label:      "mysql/deadlock",
+		Breakpoint: true,
+		Timeout:    2 * time.Second,
+		Run: func(e *core.Engine, bp bool, to time.Duration) appkit.Result {
+			// A 30s in-app stall deadline: only the wait-graph
+			// confirmation can classify this trial quickly.
+			return mysql.Run(mysql.Config{Engine: e, Bug: mysql.Deadlock,
+				Breakpoint: bp, Timeout: to, StallAfter: 30 * time.Second})
+		},
+	}
+	start := time.Now()
+	out := RunTrialCtx(context.Background(), 60*time.Second, spec)
+	elapsed := time.Since(start)
+	if out.Result.Status != appkit.Stall {
+		t.Fatalf("status = %v (%s), want Stall", out.Result.Status, out.Result.Detail)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadlock classification took %v", elapsed)
+	}
+	if !strings.Contains(out.Result.Detail, "wait-graph deadlock confirmed") {
+		t.Fatalf("detail = %q", out.Result.Detail)
+	}
+	var cycle *waitgraph.Report
+	for i := range out.Cycles {
+		if out.Cycles[i].Kind == waitgraph.ReportDeadlock {
+			cycle = &out.Cycles[i]
+		}
+	}
+	if cycle == nil {
+		t.Fatalf("no deadlock cycle in outcome: %+v", out.Cycles)
+	}
+	joined := strings.Join(cycle.Locks, ",")
+	if !strings.Contains(joined, "mysql.binlog") || !strings.Contains(joined, "mysql.catalog") {
+		t.Fatalf("cycle locks = %v", cycle.Locks)
+	}
+
+	blob, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TrialOutcome
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cycles) != len(out.Cycles) || back.Cycles[0].Desc != out.Cycles[0].Desc {
+		t.Fatalf("cycles did not survive the JSON round-trip: %+v", back.Cycles)
 	}
 }

@@ -91,7 +91,7 @@ func TestWaitingClearedAfterAcquisition(t *testing.T) {
 	waitingOn := func() *Mutex {
 		reg.mu.Lock()
 		defer reg.mu.Unlock()
-		return reg.waiting[gid]
+		return reg.waiting[gid].m
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for waitingOn() != m {

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // Class groups locks for class-based predicates (the paper's
@@ -31,12 +32,21 @@ type Class struct {
 // NewClass returns a new lock class with the given name.
 func NewClass(name string) *Class { return &Class{Name: name} }
 
+// waitRec records one goroutine's current blocking acquisition: the
+// lock, the source-site label of the acquisition, and when the wait
+// began. It is the raw material of a wait-for graph edge.
+type waitRec struct {
+	m     *Mutex
+	site  string
+	since time.Time
+}
+
 // registry tracks which locks each goroutine currently holds and which
 // lock it is currently blocked on (for live deadlock detection).
 type registry struct {
 	mu      sync.Mutex
 	held    map[uint64][]*Mutex // goroutine id -> stack of held locks
-	waiting map[uint64]*Mutex   // goroutine id -> lock it is blocked on
+	waiting map[uint64]waitRec  // goroutine id -> lock it is blocked on
 }
 
 var reg = &registry{held: make(map[uint64][]*Mutex)}
@@ -55,6 +65,13 @@ type Mutex struct {
 	ownMu     sync.Mutex
 	owner     uint64
 	ownerSite string
+
+	// ownersFn, when set, supplies the full owner set instead of the
+	// single owner field. RWMutex shadows install it so a read-held
+	// lock reports every reader as an owner in wait-graph edges.
+	// Installed once at shadow creation, before the shadow is
+	// published; treated as immutable afterwards.
+	ownersFn func() []uint64
 
 	// observers are invoked on every Lock/Unlock transition; the
 	// detectors register themselves here.
@@ -115,9 +132,9 @@ func (m *Mutex) LockAt(site string) {
 	for _, o := range m.snapshot() {
 		o.BeforeLock(m, gid, site)
 	}
-	reg.setWaiting(gid, m)
+	reg.setWaiting(gid, m, site)
 	m.mu.Lock()
-	reg.setWaiting(gid, nil)
+	reg.setWaiting(gid, nil, "")
 	m.setOwner(gid, site)
 	reg.push(gid, m)
 	for _, o := range m.snapshot() {
@@ -183,6 +200,23 @@ func (m *Mutex) Owner() (uint64, string) {
 	return m.owner, m.ownerSite
 }
 
+// Owners returns every goroutine currently holding the lock. A plain
+// Mutex has at most one owner; an RWMutex shadow reports the writer or
+// the full reader set, so wait-graph edges see every goroutine a
+// blocked acquisition is actually waiting on.
+func (m *Mutex) Owners() []uint64 {
+	if fn := m.ownersFn; fn != nil {
+		return fn()
+	}
+	m.ownMu.Lock()
+	owner := m.owner
+	m.ownMu.Unlock()
+	if owner == 0 {
+		return nil
+	}
+	return []uint64{owner}
+}
+
 func (r *registry) push(gid uint64, m *Mutex) {
 	r.mu.Lock()
 	r.held[gid] = append(r.held[gid], m)
@@ -225,6 +259,22 @@ func HeldBy(gid uint64) []*Mutex {
 	s := reg.held[gid]
 	out := make([]*Mutex, len(s))
 	copy(out, s)
+	return out
+}
+
+// HeldAll returns a snapshot of every goroutine's held-lock stack, in
+// acquisition order. The wait-graph supervisor uses it to trace which
+// blocked goroutines a postponed goroutine is wedging through the
+// locks it still holds.
+func HeldAll() map[uint64][]*Mutex {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make(map[uint64][]*Mutex, len(reg.held))
+	for g, s := range reg.held {
+		cp := make([]*Mutex, len(s))
+		copy(cp, s)
+		out[g] = cp
+	}
 	return out
 }
 

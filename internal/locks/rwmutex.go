@@ -72,16 +72,38 @@ var (
 )
 
 // Shadow returns the Mutex identity representing this lock in held sets
-// and observer events.
+// and observer events. The shadow's owner tracks the write side; its
+// ownersFn widens ownership to the reader set while the lock is
+// read-held, so wait-graph edges through an RWMutex point at every
+// goroutine the blocked acquisition actually waits on.
 func (rw *RWMutex) Shadow() *Mutex {
 	shadowMu.Lock()
 	defer shadowMu.Unlock()
 	m, ok := shadowMap[rw]
 	if !ok {
 		m = &Mutex{name: rw.name, class: rw.class}
+		m.ownersFn = rw.owners
 		shadowMap[rw] = m
 	}
 	return m
+}
+
+// owners returns the goroutines holding either side of the lock: the
+// writer if one exists, otherwise the current reader set.
+func (rw *RWMutex) owners() []uint64 {
+	rw.ownMu.Lock()
+	defer rw.ownMu.Unlock()
+	if rw.writer != 0 {
+		return []uint64{rw.writer}
+	}
+	if len(rw.readers) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(rw.readers))
+	for g := range rw.readers {
+		out = append(out, g)
+	}
+	return out
 }
 
 // Lock acquires the write side.
@@ -94,11 +116,14 @@ func (rw *RWMutex) LockAt(site string) {
 	for _, o := range rw.snapshot() {
 		o.BeforeLock(sh, gid, site)
 	}
+	reg.setWaiting(gid, sh, site)
 	rw.mu.Lock()
+	reg.setWaiting(gid, nil, "")
 	rw.ownMu.Lock()
 	rw.writer = gid
 	rw.writeSite = site
 	rw.ownMu.Unlock()
+	sh.setOwner(gid, site)
 	reg.push(gid, sh)
 	for _, o := range rw.snapshot() {
 		o.AfterLock(sh, gid, site)
@@ -119,6 +144,7 @@ func (rw *RWMutex) UnlockAt(site string) {
 	rw.writer = 0
 	rw.writeSite = ""
 	rw.ownMu.Unlock()
+	sh.setOwner(0, "")
 	reg.pop(gid, sh)
 	rw.mu.Unlock()
 }
@@ -133,7 +159,9 @@ func (rw *RWMutex) RLockAt(site string) {
 	for _, o := range rw.snapshot() {
 		o.BeforeLock(sh, gid, site)
 	}
+	reg.setWaiting(gid, sh, site)
 	rw.mu.RLock()
+	reg.setWaiting(gid, nil, "")
 	rw.ownMu.Lock()
 	rw.readers[gid]++
 	rw.ownMu.Unlock()
