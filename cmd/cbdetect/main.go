@@ -128,6 +128,7 @@ func deadlockScenario() {
 	go func() { // clientConnectionFinished
 		defer wg.Done()
 		csList.LockAt("SocketClientFactory.java:623")
+		//cbvet:ignore lockorder intentional inversion: this demo exists to reproduce the Jigsaw deadlock
 		factory.LockAt("SocketClientFactory.java:574")
 		factory.Unlock()
 		csList.Unlock()
@@ -136,6 +137,7 @@ func deadlockScenario() {
 		defer wg.Done()
 		time.Sleep(5 * time.Millisecond)
 		factory.LockAt("SocketClientFactory.java:867")
+		//cbvet:ignore lockorder intentional inversion: this demo exists to reproduce the Jigsaw deadlock
 		csList.LockAt("SocketClientFactory.java:872")
 		csList.Unlock()
 		factory.Unlock()

@@ -1,0 +1,30 @@
+// Fixture for the cbvet driver tests: one live finding, one suppressed
+// finding, and two malformed directives, pinning the JSON artifact
+// shape and the suppression accounting.
+package demo
+
+import "time"
+
+func leak(ch chan int) {
+	for {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			return
+		}
+	}
+}
+
+func quiet(ch chan int) {
+	for {
+		//cbvet:ignore timerleak demo suppression for the driver test
+		<-time.After(time.Millisecond)
+		<-ch
+	}
+}
+
+//cbvet:ignore timerleak
+func missingReason() {}
+
+//cbvet:ignore nosuch the analyzer name is validated
+func unknownName() {}

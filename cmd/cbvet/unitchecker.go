@@ -1,0 +1,136 @@
+// The go vet driver protocol (a trimmed analogue of
+// golang.org/x/tools/go/analysis/unitchecker): `go vet -vettool=cbvet`
+// first invokes the tool with -V=full to stamp the build cache, then
+// once per package with a JSON config file describing the unit —
+// sources, the import map, and the export-data file of every
+// dependency. The unit is type-checked against that export data (no
+// source reloading), the analyzers run with Partial set (whole-program
+// verdicts disabled), findings go to stderr in the standard
+// file:line:col format, and the facts file go vet expects is written
+// empty — cbvet keeps its cross-package state internal to a single
+// standalone run instead.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cbreak/internal/analysis"
+	"cbreak/internal/analysis/load"
+)
+
+// vetConfig mirrors the fields cbvet needs from the JSON config file go
+// vet hands a vettool; unknown fields are ignored.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOutput  string
+}
+
+// printVersion emits the identity line `go vet` hashes into its build
+// cache key; it includes the binary's own digest so a rebuilt cbvet
+// invalidates cached vet results.
+func printVersion(w io.Writer) {
+	digest := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			digest = fmt.Sprintf("%x", sha256.Sum256(data))[:16]
+		}
+	}
+	fmt.Fprintf(w, "cbvet version 1 buildID=%s\n", digest)
+}
+
+func unitcheck(cfgPath string, stderr *os.File) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "cbvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "cbvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(stderr, "cbvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies resolve through the export data the go command
+	// already built, via the canonical-path import map.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	unit := &load.Unit{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Fset: fset, Info: info}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { unit.TypeErrors = append(unit.TypeErrors, err) },
+	}
+	unit.Pkg, _ = conf.Check(cfg.ImportPath, fset, files, info)
+
+	runner := &analysis.Runner{Analyzers: all, Partial: true}
+	res, err := runner.Run([]*load.Unit{unit})
+	if err != nil {
+		fmt.Fprintln(stderr, "cbvet:", err)
+		return 1
+	}
+
+	// go vet requires the facts file to exist even when empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, "cbvet:", err)
+			return 1
+		}
+	}
+	if len(res.Findings) > 0 {
+		for _, f := range res.Findings {
+			f.File = relTo(cfg.Dir, f.File)
+			fmt.Fprintln(stderr, f)
+		}
+		return 2
+	}
+	return 0
+}
+
+// relTo shortens file to a path relative to dir when that is strictly
+// shorter to read; otherwise the absolute path stays.
+func relTo(dir, file string) string {
+	if rel, err := filepath.Rel(dir, file); err == nil && len(rel) < len(file) {
+		return rel
+	}
+	return file
+}

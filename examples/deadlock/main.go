@@ -31,6 +31,7 @@ func (f *factoryLike) clientConnectionFinished(bp bool) {
 		cbreak.TriggerHere(cbreak.NewDeadlockTrigger("trigger2", f.csList, f.this),
 			true, 300*time.Millisecond)
 	}
+	//cbvet:ignore lockorder intentional inversion: this example exists to reproduce the Jigsaw deadlock
 	f.this.LockAt("SocketClientFactory.java:574")
 	defer f.this.Unlock()
 	// decrIdleCount body.
@@ -44,6 +45,7 @@ func (f *factoryLike) killClients(bp bool) {
 		cbreak.TriggerHere(cbreak.NewDeadlockTrigger("trigger2", f.this, f.csList),
 			false, 300*time.Millisecond)
 	}
+	//cbvet:ignore lockorder intentional inversion: this example exists to reproduce the Jigsaw deadlock
 	f.csList.LockAt("SocketClientFactory.java:872")
 	defer f.csList.Unlock()
 }
@@ -57,10 +59,12 @@ func runOnce(bp bool) bool {
 	done := make(chan struct{}, 2)
 	go func() { f.clientConnectionFinished(bp); done <- struct{}{} }()
 	go func() { f.killClients(bp); done <- struct{}{} }()
+	stall := time.NewTimer(time.Second)
+	defer stall.Stop()
 	for i := 0; i < 2; i++ {
 		select {
 		case <-done:
-		case <-time.After(time.Second):
+		case <-stall.C:
 			return true
 		}
 	}

@@ -53,6 +53,7 @@ func main() {
 	cbreak.SetFaultInjector(cbreak.NewFaultPlan().WedgeWait("demo.wedge", cbreak.FirstSide, 1))
 	cbreak.StartWatchdog(10*time.Millisecond, 20*time.Millisecond)
 	start := time.Now()
+	//cbvet:ignore bpkeys intentional one-sided arrival: the watchdog demo needs a wait that never pairs
 	wedgedHit := cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.wedge", &obj), true, 50*time.Millisecond)
 	wedgedWait := time.Since(start)
 	cbreak.StopWatchdog()
@@ -74,8 +75,10 @@ func main() {
 	cfg.TimeoutRate = 0.5
 	cfg.Backoff = 150 * time.Millisecond
 	cbreak.SetBreakerConfig(&cfg)
+	bpBreaker := cbreak.Register("demo.breaker")
 	for i := 0; i < 6; i++ {
-		cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.breaker", &obj), true, 5*time.Millisecond)
+		bpBreaker.Trigger(cbreak.NewConflictTrigger("demo.breaker", &obj), true,
+			cbreak.Options{Timeout: 5 * time.Millisecond})
 	}
 	if snap, ok := cbreak.BreakerStatus("demo.breaker"); ok {
 		fmt.Printf("after 6 lonely arrivals: state=%s trips=%d\n", snap.State, snap.Trips)
@@ -116,6 +119,7 @@ func main() {
 	unused := cbreak.NewFaultPlan().PanicLocal("demo.disabled", cbreak.BothSides)
 	cbreak.SetFaultInjector(unused)
 	cbreak.SetEnabled(false)
+	//cbvet:ignore bpkeys intentional one-sided arrival: a disabled engine returns immediately, no partner needed
 	disabledHit := cbreak.TriggerHere(cbreak.NewConflictTrigger("demo.disabled", &obj), true, time.Second)
 	cbreak.SetEnabled(true)
 	cbreak.SetFaultInjector(nil)

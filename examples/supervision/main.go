@@ -46,17 +46,20 @@ func main() {
 	section("overload shedding")
 	cbreak.SetOverloadConfig(&cbreak.OverloadConfig{MaxPerShard: 2})
 
+	bpOverload := cbreak.Register("demo.overload")
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cbreak.TriggerHere(parkTrigger("demo.overload"), true, 300*time.Millisecond)
+			bpOverload.Trigger(parkTrigger("demo.overload"), true,
+				cbreak.Options{Timeout: 300 * time.Millisecond})
 		}()
 	}
 	fmt.Printf("two arrivals postponed: %v\n", waitPostponed(2))
 	for i := 0; i < 2; i++ {
-		cbreak.TriggerHere(parkTrigger("demo.overload"), true, 300*time.Millisecond)
+		bpOverload.Trigger(parkTrigger("demo.overload"), true,
+			cbreak.Options{Timeout: 300 * time.Millisecond})
 	}
 	wg.Wait()
 	for _, st := range cbreak.SnapshotStats() {
@@ -80,11 +83,13 @@ func main() {
 		SoftWater:       1,
 		MinBudget:       25 * time.Millisecond,
 	})
+	bpBudget := cbreak.Register("demo.budget")
 	for i := 0; i < 5; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cbreak.TriggerHere(parkTrigger("demo.budget"), true, 400*time.Millisecond)
+			bpBudget.Trigger(parkTrigger("demo.budget"), true,
+				cbreak.Options{Timeout: 400 * time.Millisecond})
 		}()
 	}
 	fmt.Printf("five fillers postponed: %v\n", waitPostponed(5))

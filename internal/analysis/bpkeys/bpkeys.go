@@ -1,0 +1,320 @@
+// Package bpkeys checks breakpoint-key hygiene. A concurrent breakpoint
+// only fires when two goroutines arrive with the same key, so a typo'd
+// key is not an error anyone sees — it is a breakpoint that silently
+// never rendezvous, which turns a near-certain reproduction back into a
+// Heisenbug. The whole-program pass groups every constant trigger key by
+// value and flags keys that cannot pair: a single site with a fixed
+// first/second role and no cbreak.Register anywhere, every site passing
+// the same first= literal, or an n-way key whose only static site fills
+// one slot. The per-package pass additionally flags string-keyed
+// TriggerHere* calls inside loops, where the per-call registry lookup
+// belongs outside the loop as a cached core.Breakpoint handle.
+package bpkeys
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"sort"
+	"strings"
+
+	"cbreak/internal/analysis"
+	"cbreak/internal/analysis/astq"
+)
+
+// Analyzer is the breakpoint-key hygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "bpkeys",
+	Doc: "breakpoint keys that can never rendezvous (single-sided, same-role, or " +
+		"orphaned n-way keys) and string-keyed trigger calls in loops that should " +
+		"use a cached core.Breakpoint handle",
+	Run:      run,
+	NewState: func() any { return &state{sites: map[string][]site{}} },
+	Finish:   finish,
+}
+
+const corePath = astq.ModulePath + "/internal/core"
+
+type role int
+
+const (
+	roleFirst role = iota
+	roleSecond
+	roleMulti    // n-way site with a constant slot
+	roleRegister // cbreak.Register / Engine.Breakpoint handle
+	roleUnknown  // non-constant first/slot, or trigger built outside a call
+)
+
+type site struct {
+	pos    token.Pos
+	file   string
+	role   role
+	slot   int // roleMulti only
+	arity  int // roleMulti only
+	inTest bool
+}
+
+type state struct {
+	sites map[string][]site
+}
+
+// triggerKind classifies a callee as a trigger-call wrapper: two-sided
+// (first bool at arg 1), n-way (slot, arity at args 1, 2), or neither.
+func triggerKind(name string) (twoSided, multi bool) {
+	switch name {
+	case "TriggerHere", "TriggerHereOpts", "TriggerHereAnd", "Trigger", "TriggerAnd", "TriggerOutcome":
+		return true, false
+	case "TriggerHereMulti", "TriggerHereMultiAnd", "TriggerMulti", "TriggerMultiAnd":
+		return false, true
+	}
+	return false, false
+}
+
+func isTriggerPkg(path string) bool {
+	return path == astq.ModulePath || path == corePath
+}
+
+// ctorKey returns the constant key of a breakpoint-trigger constructor
+// call (NewConflictTrigger et al.), or ok=false.
+func ctorKey(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := astq.Callee(pass.Unit.Info, call)
+	if fn == nil || !isTriggerPkg(astq.FuncPkgPath(fn)) {
+		return "", false
+	}
+	switch fn.Name() {
+	case "NewConflictTrigger", "NewDeadlockTrigger", "NewAtomicityTrigger",
+		"NewNotifyTrigger", "NewPredTrigger":
+	default:
+		return "", false
+	}
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	return astq.ConstString(pass.Unit.Info, call.Args[0])
+}
+
+func run(pass *analysis.Pass) error {
+	st := pass.State.(*state)
+	fset := pass.Unit.Fset
+	consumed := map[*ast.CallExpr]bool{}
+
+	addSite := func(key string, s site) {
+		p := fset.Position(s.pos)
+		s.file = p.Filename
+		s.inTest = strings.HasSuffix(p.Filename, "_test.go")
+		st.sites[key] = append(st.sites[key], s)
+	}
+
+	// First sweep: trigger-wrapper calls. These consume a directly
+	// nested constructor (assigning it a first/second/multi role) and,
+	// when string-keyed and inside a loop, draw the handle diagnostic.
+	for _, f := range pass.Unit.Files {
+		var walk func(n ast.Node, loopDepth int)
+		walk = func(n ast.Node, loopDepth int) {
+			if n == nil {
+				return
+			}
+			ast.Inspect(n, func(c ast.Node) bool {
+				switch c := c.(type) {
+				case *ast.ForStmt:
+					if c == n {
+						return true
+					}
+					walk(c.Init, loopDepth)
+					walk(c.Cond, loopDepth)
+					walk(c.Post, loopDepth)
+					walk(c.Body, loopDepth+1)
+					return false
+				case *ast.RangeStmt:
+					if c == n {
+						return true
+					}
+					walk(c.X, loopDepth)
+					walk(c.Body, loopDepth+1)
+					return false
+				case *ast.CallExpr:
+					visitCall(pass, st, c, loopDepth, consumed, addSite)
+					return true
+				}
+				return true
+			})
+		}
+		walk(f, 0)
+	}
+
+	// Second sweep: constructors that did not feed a trigger call
+	// directly (stored in a variable, returned, ...). Their role is
+	// unknown, which exempts the key from rendezvous reporting.
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || consumed[call] {
+			return true
+		}
+		if key, ok := ctorKey(pass, call); ok {
+			addSite(key, site{pos: call.Pos(), role: roleUnknown})
+		}
+		return true
+	})
+	return nil
+}
+
+func visitCall(pass *analysis.Pass, st *state, call *ast.CallExpr, loopDepth int,
+	consumed map[*ast.CallExpr]bool, addSite func(string, site)) {
+	info := pass.Unit.Info
+	fn := astq.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	pkg := astq.FuncPkgPath(fn)
+	if !isTriggerPkg(pkg) {
+		return
+	}
+
+	// Handle registration: cbreak.Register(key) / Engine.Breakpoint(key).
+	if (fn.Name() == "Register" && astq.RecvTypeName(fn) == "") ||
+		(fn.Name() == "Breakpoint" && astq.RecvTypeName(fn) == "Engine") {
+		if len(call.Args) == 1 {
+			if key, ok := astq.ConstString(info, call.Args[0]); ok {
+				addSite(key, site{pos: call.Pos(), role: roleRegister})
+			}
+		}
+		return
+	}
+
+	twoSided, multi := triggerKind(fn.Name())
+	if !twoSided && !multi {
+		return
+	}
+
+	// String-keyed lookup per call: every TriggerHere* (package-level or
+	// Engine method) resolves the key through the registry on each
+	// arrival. Inside a loop that lookup belongs outside, cached in a
+	// handle. Handle methods (Breakpoint.Trigger*) are exempt, as are
+	// test files — the benchmarks and stress tests deliberately hammer
+	// the string-keyed path, which is the thing being measured.
+	if loopDepth > 0 && strings.HasPrefix(fn.Name(), "TriggerHere") &&
+		!strings.HasSuffix(pass.Unit.Fset.Position(call.Pos()).Filename, "_test.go") {
+		pass.Reportf(call.Pos(),
+			"string-keyed %s inside a loop does a registry lookup per iteration; resolve a core.Breakpoint handle once outside the loop (cbreak.Register)", fn.Name())
+	}
+
+	if len(call.Args) == 0 {
+		return
+	}
+	ctor, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	key, ok := ctorKey(pass, ctor)
+	if !ok {
+		return
+	}
+	consumed[ctor] = true
+	s := site{pos: ctor.Pos(), role: roleUnknown}
+	switch {
+	case twoSided && len(call.Args) >= 2:
+		if first, ok := astq.ConstBool(info, call.Args[1]); ok {
+			if first {
+				s.role = roleFirst
+			} else {
+				s.role = roleSecond
+			}
+		}
+	case multi && len(call.Args) >= 3:
+		if slot, ok := constInt(pass, call.Args[1]); ok {
+			if arity, ok := constInt(pass, call.Args[2]); ok {
+				s.role, s.slot, s.arity = roleMulti, slot, arity
+			}
+		}
+	}
+	addSite(key, s)
+}
+
+func constInt(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.Unit.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, false
+	}
+	return int(n), true
+}
+
+func finish(f *analysis.Finish) error {
+	if f.Partial {
+		// Under go vet -vettool each package is analyzed alone; a key's
+		// partner or Register may live in a unit this process never
+		// sees, so whole-program verdicts are unsound here.
+		return nil
+	}
+	st := f.State.(*state)
+	keys := make([]string, 0, len(st.sites))
+	for k := range st.sites {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		checkKey(f, key, st.sites[key])
+	}
+	return nil
+}
+
+func checkKey(f *analysis.Finish, key string, sites []site) {
+	var nFirst, nSecond, nMulti, nOther int
+	slots := map[int]bool{}
+	arity := 0
+	allTest := true
+	for _, s := range sites {
+		switch s.role {
+		case roleFirst:
+			nFirst++
+		case roleSecond:
+			nSecond++
+		case roleMulti:
+			nMulti++
+			slots[s.slot] = true
+			if s.arity > arity {
+				arity = s.arity
+			}
+		default:
+			nOther++ // register or unknown: assume pairable
+		}
+		if !s.inTest {
+			allTest = false
+		}
+	}
+	if nOther > 0 || allTest {
+		return
+	}
+	report := func(format string, args ...any) {
+		for _, s := range sites {
+			if !s.inTest {
+				f.Reportf(s.pos, format, args...)
+			}
+		}
+	}
+	switch {
+	case nMulti > 0 && (nFirst > 0 || nSecond > 0):
+		return // mixed two-sided and n-way use: no static verdict
+	case nMulti > 0:
+		if len(slots) == 1 && arity > 1 {
+			for slot := range slots {
+				report("n-way breakpoint key %q can never rendezvous: every static site fills slot %d of %d; the other slots have no call sites", key, slot, arity)
+			}
+		}
+	case nFirst > 0 && nSecond == 0:
+		if nFirst == 1 {
+			report("breakpoint key %q has a single trigger site (first=true) and no partner or cbreak.Register; a mistyped key never rendezvous", key)
+		} else {
+			report("breakpoint key %q can never rendezvous: all %d sites pass first=true; a pair needs a first=false side", key, nFirst)
+		}
+	case nSecond > 0 && nFirst == 0:
+		if nSecond == 1 {
+			report("breakpoint key %q has a single trigger site (first=false) and no partner or cbreak.Register; a mistyped key never rendezvous", key)
+		} else {
+			report("breakpoint key %q can never rendezvous: all %d sites pass first=false; a pair needs a first=true side", key, nSecond)
+		}
+	}
+}

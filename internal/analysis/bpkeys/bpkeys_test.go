@@ -1,0 +1,15 @@
+package bpkeys_test
+
+import (
+	"testing"
+
+	"cbreak/internal/analysis/bpkeys"
+	"cbreak/internal/analysis/cbvettest"
+)
+
+func TestFixtures(t *testing.T) {
+	res := cbvettest.Run(t, bpkeys.Analyzer, "testdata/a")
+	if n := len(res.Suppressed); n != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the //cbvet:ignore site)", n)
+	}
+}

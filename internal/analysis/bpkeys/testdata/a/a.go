@@ -1,0 +1,75 @@
+// Fixture for the bpkeys analyzer.
+package a
+
+import (
+	"time"
+
+	"cbreak"
+)
+
+var obj struct{ n int }
+
+// Orphan: a single first=true site with no partner and no Register.
+func orphan() {
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.orphan", &obj), true, time.Second) // want "single trigger site"
+}
+
+// Same role on both sides: two first=true sites can never pair.
+func sameRoleA() {
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.same", &obj), true, time.Second) // want "all 2 sites pass first=true"
+}
+
+func sameRoleB() {
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.same", &obj), true, time.Second) // want "all 2 sites pass first=true"
+}
+
+// An n-way key whose only static site fills one slot.
+func lonelySlot() {
+	cbreak.TriggerHereMulti(cbreak.NewConflictTrigger("fix.slot", &obj), 0, 3, cbreak.Options{}) // want "every static site fills slot 0 of 3"
+}
+
+// String-keyed trigger in a loop: the lookup belongs outside, cached in
+// a handle.
+func hotLoop() {
+	for i := 0; i < 100; i++ {
+		cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.loop", &obj), true, time.Second) // want "registry lookup per iteration"
+	}
+	// The partner side, so "fix.loop" itself pairs fine.
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.loop", &obj), false, time.Second)
+}
+
+// Suppressed orphan: the directive names the analyzer and a reason.
+func tolerated() {
+	//cbvet:ignore bpkeys one-sided by design, exercised only under the fault injector
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.tolerated", &obj), true, time.Second)
+}
+
+// Negative: a proper pair.
+func pairedFirst() {
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.paired", &obj), true, time.Second)
+}
+
+func pairedSecond() {
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.paired", &obj), false, time.Second)
+}
+
+// Negative: a registered key may rendezvous through its handle even
+// with a single literal site.
+var handle = cbreak.Register("fix.registered")
+
+func registered() {
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.registered", &obj), true, time.Second)
+}
+
+// Negative: a handle-based trigger in a loop is exactly the idiom the
+// loop hint asks for.
+func handleLoop() {
+	for i := 0; i < 100; i++ {
+		handle.Trigger(cbreak.NewConflictTrigger("fix.registered", &obj), true, cbreak.Options{})
+	}
+}
+
+// Negative: a non-constant role exempts the key from role analysis.
+func dynamicRole(first bool) {
+	cbreak.TriggerHere(cbreak.NewConflictTrigger("fix.dynamic", &obj), first, time.Second)
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one diagnostic resolved to a file position — the unit of
+// the -json artifact CI uploads next to BENCH_engine.json.
+type Finding struct {
+	// Analyzer is the reporting analyzer ("cbvet" for malformed
+	// suppression directives).
+	Analyzer string `json:"analyzer"`
+	// File is the path as the loader saw it; Report rewrites it
+	// relative to a root for stable artifacts.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message is the human-readable diagnostic.
+	Message string `json:"message"`
+}
+
+// String formats the finding the way go vet does.
+func (f Finding) String() string {
+	return f.File + ":" + itoa(f.Line) + ":" + itoa(f.Col) + ": " + f.Analyzer + ": " + f.Message
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func toFinding(fset *token.FileSet, d Diagnostic) Finding {
+	pos := fset.Position(d.Pos)
+	return Finding{
+		Analyzer: d.Analyzer,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  d.Message,
+	}
+}
+
+// Report is the top-level -json document.
+type Report struct {
+	Tool      string    `json:"tool"`
+	Version   int       `json:"version"`
+	Analyzers []string  `json:"analyzers"`
+	Findings  []Finding `json:"findings"`
+	// Suppressed counts diagnostics silenced by //cbvet:ignore; the
+	// artifact records the volume so a quietly growing pile of
+	// suppressions is visible in CI history.
+	Suppressed int `json:"suppressed"`
+}
+
+// NewReport assembles the JSON document for a result. File paths are
+// rewritten relative to root (when possible) so artifacts are stable
+// across checkouts.
+func NewReport(analyzers []*Analyzer, res *Result, root string) Report {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	findings := make([]Finding, len(res.Findings))
+	for i, f := range res.Findings {
+		f.File = relativize(root, f.File)
+		findings[i] = f
+	}
+	return Report{
+		Tool:       "cbvet",
+		Version:    1,
+		Analyzers:  names,
+		Findings:   findings,
+		Suppressed: len(res.Suppressed),
+	}
+}
+
+// Encode writes the report as indented JSON.
+func (r Report) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+func relativize(root, file string) string {
+	if root == "" {
+		return file
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"cbreak/internal/analysis/cbvettest"
+	"cbreak/internal/analysis/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	res := cbvettest.Run(t, lockorder.Analyzer, "testdata/a")
+	if n := len(res.Suppressed); n != 2 {
+		t.Errorf("suppressed findings = %d, want 2 (both edges of the annotated cycle)", n)
+	}
+}

@@ -1,0 +1,15 @@
+package predpure_test
+
+import (
+	"testing"
+
+	"cbreak/internal/analysis/cbvettest"
+	"cbreak/internal/analysis/predpure"
+)
+
+func TestFixtures(t *testing.T) {
+	res := cbvettest.Run(t, predpure.Analyzer, "testdata/a")
+	if n := len(res.Suppressed); n != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the //cbvet:ignore site)", n)
+	}
+}

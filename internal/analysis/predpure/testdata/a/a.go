@@ -1,0 +1,77 @@
+// Fixture for the predpure analyzer.
+package a
+
+import (
+	"cbreak/internal/core"
+	"cbreak/internal/locks"
+)
+
+var mu = locks.NewMutex("fix.mu")
+
+func impure(counter *int, ch chan int, done chan struct{}) {
+	n := 0
+	_ = core.Options{ExtraLocal: func() bool {
+		n++ // want "writes captured variable n"
+		return n < 3
+	}}
+	_ = core.Options{ExtraLocal: func() bool {
+		ch <- 1 // want "sends on a channel"
+		return true
+	}}
+	_ = core.Options{ExtraLocal: func() bool {
+		<-done // want "receives from a channel"
+		return true
+	}}
+	_ = core.Options{ExtraLocal: func() bool {
+		mu.Lock() // want "lock acquisition inside a predicate"
+		defer mu.Unlock()
+		return true
+	}}
+	_ = core.Options{ExtraLocal: func() bool {
+		go func() {}() // want "spawns a goroutine"
+		return true
+	}}
+	_ = core.Options{ExtraLocal: func() bool {
+		close(done) // want "closes a channel"
+		return true
+	}}
+	_ = core.Options{ExtraLocal: func() bool {
+		return core.TriggerHere(core.NewConflictTrigger("fix.reenter", nil), true, 0) // want "re-enters the trigger API"
+	}}
+}
+
+func impurePredTrigger(flags map[string]bool) {
+	_ = &core.PredTrigger{
+		Local: func() bool {
+			flags["seen"] = true // want "writes captured variable flags"
+			return true
+		},
+	}
+	_ = core.NewPredTrigger("fix.pred", nil,
+		func() bool {
+			delete(flags, "seen")
+			flags["again"] = true // want "writes captured variable flags"
+			return true
+		},
+		nil)
+}
+
+func tolerated(hits *int) {
+	_ = core.Options{ExtraLocal: func() bool {
+		//cbvet:ignore predpure deliberate: this demo counts predicate evaluations to show BTrigger bias
+		*hits++
+		return true
+	}}
+}
+
+// Negative: predicates that only read captured state are the intended
+// use.
+func pure(ready *bool, depth int) {
+	_ = core.Options{ExtraLocal: func() bool { return *ready && depth > 2 }}
+	local := 0
+	_ = core.Options{ExtraLocal: func() bool {
+		sum := local + depth // writing sum is fine: declared inside
+		return sum > 0
+	}}
+	_ = &core.PredTrigger{Local: func() bool { return depth < 10 }}
+}

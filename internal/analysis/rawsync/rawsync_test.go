@@ -1,0 +1,22 @@
+package rawsync_test
+
+import (
+	"testing"
+
+	"cbreak/internal/analysis/cbvettest"
+	"cbreak/internal/analysis/rawsync"
+)
+
+func TestAppsFixture(t *testing.T) {
+	res := cbvettest.Run(t, rawsync.Analyzer, "testdata/apps/a")
+	if n := len(res.Suppressed); n != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the //cbvet:ignore site)", n)
+	}
+}
+
+func TestOutOfScopeFixture(t *testing.T) {
+	res := cbvettest.Run(t, rawsync.Analyzer, "testdata/library/b")
+	if n := len(res.Findings); n != 0 {
+		t.Errorf("findings outside apps = %d, want 0: %v", n, res.Findings)
+	}
+}

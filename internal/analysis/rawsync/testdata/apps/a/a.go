@@ -1,0 +1,30 @@
+// Fixture for the rawsync analyzer: the path contains an "apps"
+// element, so raw sync mutexes are in scope here.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu  sync.Mutex   // want "raw sync.Mutex"
+	rw  sync.RWMutex // want "raw sync.RWMutex"
+	n   int
+	set map[string]bool
+}
+
+func local() {
+	var mu sync.Mutex // want "raw sync.Mutex"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+type tolerated struct {
+	//cbvet:ignore rawsync guards test-only bookkeeping that never participates in a modeled deadlock
+	mu sync.Mutex
+	n  int
+}
+
+// Negative: sync types other than mutexes stay legal in apps.
+type fine struct {
+	wg   sync.WaitGroup
+	once sync.Once
+}

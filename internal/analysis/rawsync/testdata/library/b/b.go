@@ -1,0 +1,10 @@
+// Fixture for the rawsync analyzer: no "apps" path element, so raw
+// sync mutexes are out of scope and nothing is reported.
+package b
+
+import "sync"
+
+type fine struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}

@@ -1,0 +1,52 @@
+// Fixture for the timerleak analyzer.
+package a
+
+import "time"
+
+func loops(ch chan int, deadline time.Time) {
+	for {
+		select {
+		case <-ch:
+		case <-time.After(time.Second): // want "time.After in a loop"
+			return
+		}
+	}
+}
+
+func rangeLoop(items []int, ch chan int) {
+	for range items {
+		<-time.After(time.Millisecond) // want "time.After in a loop"
+	}
+}
+
+func funcLitInLoop(run func(func())) {
+	for i := 0; i < 3; i++ {
+		run(func() {
+			<-time.After(time.Millisecond) // want "time.After in a loop"
+		})
+	}
+}
+
+func suppressed(ch chan int) {
+	for {
+		select {
+		case <-ch:
+		//cbvet:ignore timerleak bounded two-iteration poll, the leak is negligible
+		case <-time.After(time.Second):
+			return
+		}
+	}
+}
+
+// Negative cases: time.After outside a loop, and the (time.Time).After
+// method, which shares the name but is a pure comparison.
+func fine(ch chan int, deadline time.Time) bool {
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+	}
+	for time.Now().After(deadline) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package timerleak_test
+
+import (
+	"testing"
+
+	"cbreak/internal/analysis/cbvettest"
+	"cbreak/internal/analysis/timerleak"
+)
+
+func TestFixtures(t *testing.T) {
+	res := cbvettest.Run(t, timerleak.Analyzer, "testdata/a")
+	if n := len(res.Suppressed); n != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the //cbvet:ignore site)", n)
+	}
+}

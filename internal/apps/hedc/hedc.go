@@ -157,7 +157,7 @@ type Crawler struct {
 	completed *memory.Cell // race1: racy task counter
 	slotIdx   *memory.Cell // race2: racy result slot index
 	results   []*Page      // race2: slot per crawled page
-	resMu     sync.Mutex   // guards the slot write itself (the bug is
+	resMu     *locks.Mutex // guards the slot write itself (the bug is
 	// the racy index, not the store; the lock keeps the Go program
 	// well-defined while the duplicate-slot overwrite still loses a
 	// result)
@@ -171,6 +171,7 @@ func NewCrawler(web *Web, cfg *Config) *Crawler {
 		cfg:       cfg,
 		visited:   make(map[string]bool),
 		visMu:     locks.NewMutex("hedc.visited"),
+		resMu:     locks.NewMutex("hedc.results"),
 		queue:     make(chan string, web.Len()+16),
 		completed: memory.NewCell(sp, "hedc.completed", 0),
 		slotIdx:   memory.NewCell(sp, "hedc.slotIdx", 0),

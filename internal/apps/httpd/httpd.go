@@ -24,6 +24,7 @@ import (
 
 	"cbreak/internal/apps/appkit"
 	"cbreak/internal/core"
+	"cbreak/internal/locks"
 	"cbreak/internal/memory"
 )
 
@@ -47,16 +48,17 @@ type Request struct {
 type AccessLog struct {
 	buf  []byte
 	off  *memory.Cell
-	wrMu sync.Mutex // guards the byte copy itself (the bug is the offset)
+	wrMu *locks.Mutex // guards the byte copy itself (the bug is the offset)
 	cfg  *Config
 }
 
 // NewAccessLog returns a log buffer of the given size.
 func NewAccessLog(size int, cfg *Config) *AccessLog {
 	return &AccessLog{
-		buf: make([]byte, size),
-		off: memory.NewCell(nil, "httpd.log.off", 0),
-		cfg: cfg,
+		buf:  make([]byte, size),
+		off:  memory.NewCell(nil, "httpd.log.off", 0),
+		wrMu: locks.NewMutex("httpd.log.write"),
+		cfg:  cfg,
 	}
 }
 
@@ -116,12 +118,10 @@ func NewConnBuf(n int) *ConnBuf {
 
 // Server is the worker-pool web server.
 type Server struct {
-	log     *AccessLog
-	conn    *ConnBuf
-	served  *memory.Cell
-	cfg     *Config
-	crashMu sync.Mutex
-	crash   error
+	log    *AccessLog
+	conn   *ConnBuf
+	served *memory.Cell
+	cfg    *Config
 }
 
 // NewServer returns a server with a 64 KiB log and an 8 KiB connection

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"cbreak/internal/locks"
 )
 
 // This file gives the Jigsaw model a real protocol surface: an
@@ -191,7 +193,7 @@ func (c *HTTPClient) Close() error { return c.conn.Close() }
 func (f *Factory) ServeHTTPLoad(clients, requests int) (int, error) {
 	var ok int
 	var firstErr error
-	var mu sync.Mutex
+	mu := locks.NewMutex("jigsaw.http.results")
 	var wg sync.WaitGroup
 	for cid := 0; cid < clients; cid++ {
 		clientEnd, serverEnd := net.Pipe()

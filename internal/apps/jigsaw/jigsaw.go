@@ -141,7 +141,8 @@ func (f *Factory) ClientConnectionFinished(worker int) {
 			core.NewDeadlockTrigger(BPDeadlock1, f.csList.mu, f.mu), true,
 			core.Options{Timeout: f.cfg.Timeout, Bound: 1})
 	}
-	f.decrIdleCount(worker) // line 626 -> 574
+	//cbvet:ignore lockorder intentional: deadlock1 of the paper's Jigsaw study (line 626 -> 574)
+	f.decrIdleCount(worker)
 }
 
 // KillClients (Figure 2 line 867): factory monitor, then csList (872) —
@@ -154,6 +155,7 @@ func (f *Factory) KillClients() int {
 			core.NewDeadlockTrigger(BPDeadlock1, f.mu, f.csList.mu), false,
 			core.Options{Timeout: f.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: deadlock1 of the paper's Jigsaw study (line 867 -> 872)
 	f.csList.mu.LockAt("SocketClientFactory.java:872")
 	defer f.csList.mu.Unlock()
 	killed := 0
@@ -176,6 +178,7 @@ func (f *Factory) LogAccess(req Request) {
 			core.NewDeadlockTrigger(BPDeadlock2, f.logMu, f.mu), true,
 			core.Options{Timeout: f.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: deadlock2 of the paper's Jigsaw study (logger then factory)
 	f.mu.LockAt("SocketClientFactory.java:getClientCount")
 	n := len(f.csList.clients)
 	f.mu.Unlock()
@@ -192,6 +195,7 @@ func (f *Factory) Shutdown() {
 			core.NewDeadlockTrigger(BPDeadlock2, f.mu, f.logMu), false,
 			core.Options{Timeout: f.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: deadlock2 of the paper's Jigsaw study (factory then logger)
 	f.logMu.LockAt("CommonLogger.java:flush")
 	defer f.logMu.Unlock()
 	f.accessLog = append(f.accessLog, "shutdown")

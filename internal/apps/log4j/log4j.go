@@ -257,6 +257,7 @@ func (a *AsyncAppender) dispatch(batch []Event) {
 			core.NewDeadlockTrigger(BPDeadlock, a.target.mu, a.m), true,
 			core.Options{Timeout: a.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: the log4j deadlock repro (FileAppender then AsyncAppender)
 	a.m.LockAt("AsyncAppender.java:recordFlush")
 	a.lastFlushSeq = batch[len(batch)-1].Seq
 	a.m.Unlock()
@@ -275,6 +276,7 @@ func (a *AsyncAppender) CloseTarget() {
 			core.NewDeadlockTrigger(BPDeadlock, a.m, a.target.mu), false,
 			core.Options{Timeout: a.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: the log4j deadlock repro (AsyncAppender then FileAppender)
 	a.target.mu.LockAt("FileAppender.java:close")
 	defer a.target.mu.Unlock()
 	a.target.flushes++

@@ -85,6 +85,7 @@ func (l *Logger) Log(r Record) {
 			core.NewDeadlockTrigger(BPDeadlock, l.mu, l.handler.mu), true,
 			core.Options{Timeout: l.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: the java.util.logging deadlock repro (Logger then Handler)
 	l.handler.mu.LockAt("Handler.java:publish")
 	defer l.handler.mu.Unlock()
 	l.handler.publishLocked(r)
@@ -100,6 +101,7 @@ func (l *Logger) Reconfigure(level Level) {
 			core.NewDeadlockTrigger(BPDeadlock, l.handler.mu, l.mu), false,
 			core.Options{Timeout: l.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: the java.util.logging deadlock repro (Handler then Logger)
 	l.mu.LockAt("Logger.java:getLevel")
 	defer l.mu.Unlock()
 	if level < l.level {

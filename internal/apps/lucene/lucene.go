@@ -117,6 +117,7 @@ func (w *IndexWriter) AddDocument(text string) int {
 			core.NewDeadlockTrigger(BPDeadlock, w.docs.mu, w.mu), true,
 			core.Options{Timeout: w.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: the Lucene deadlock repro (DocumentsWriter then IndexWriter)
 	w.mu.LockAt("IndexWriter.java:doFlush")
 	batch := w.docs.drainLocked()
 	w.mergeLocked(batch)
@@ -135,6 +136,7 @@ func (w *IndexWriter) Commit() {
 			core.NewDeadlockTrigger(BPDeadlock, w.mu, w.docs.mu), false,
 			core.Options{Timeout: w.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore lockorder intentional: the Lucene deadlock repro (IndexWriter then DocumentsWriter)
 	w.docs.mu.LockAt("DocumentsWriter.java:flushAll")
 	batch := w.docs.drainLocked()
 	w.docs.mu.Unlock()

@@ -139,13 +139,19 @@ func Run(cfg Config) appkit.Result {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				// Resolve the handle once per worker; the trigger site
+				// below runs per task and skips the registry lookup.
+				var bpRace *core.Breakpoint
+				if cfg.Breakpoint {
+					bpRace = cfg.Engine.Breakpoint(BPRace1)
+				}
 				for task := range tasksCh {
 					pr := SimulatePath(task, cfg.steps())
 					resMu.With(func() { results = append(results, pr) })
 					// Racy read-modify-write bookkeeping (race1).
 					v := done.Load("montecarlo.go:done.read")
 					if cfg.Breakpoint {
-						cfg.Engine.TriggerHere(core.NewConflictTrigger(BPRace1, done), w == 0,
+						bpRace.Trigger(core.NewConflictTrigger(BPRace1, done), w == 0,
 							core.Options{Timeout: cfg.Timeout, Bound: cfg.bound()})
 					}
 					done.Store("montecarlo.go:done.write", v+1)

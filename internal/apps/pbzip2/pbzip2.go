@@ -22,7 +22,6 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"cbreak/internal/apps/appkit"
@@ -168,7 +167,7 @@ func makeInput(n int) []byte {
 // Compressor is one run's pipeline state.
 type Compressor struct {
 	fifo      *memory.Ref[Queue] // the shared queue pointer the bug frees
-	outMu     sync.Mutex
+	outMu     *locks.Mutex
 	out       map[int][]byte
 	completed *memory.Cell // blocks compressed so far
 	total     int
@@ -180,6 +179,7 @@ func NewCompressor(total int, cfg *Config) *Compressor {
 	q := NewQueue()
 	return &Compressor{
 		fifo:      memory.NewRef(nil, "pbzip2.fifo", q),
+		outMu:     locks.NewMutex("pbzip2.out"),
 		out:       make(map[int][]byte),
 		completed: memory.NewCell(nil, "pbzip2.completed", 0),
 		total:     total,
@@ -195,11 +195,17 @@ func (c *Compressor) consumer(id int) (err error) {
 			err = fmt.Errorf("worker %d crashed: %v", id, p)
 		}
 	}()
+	// Resolve the handle once; the trigger site below runs per loop
+	// iteration and skips the registry lookup.
+	var bpFree *core.Breakpoint
+	if c.cfg.Breakpoint {
+		bpFree = c.cfg.Engine.Breakpoint(BPFree)
+	}
 	for {
 		if c.cfg.Breakpoint {
 			// cbr2 second side: the loop-around load can be ordered
 			// after the main thread's free.
-			c.cfg.Engine.TriggerHere(core.NewConflictTrigger(BPFree, c.fifo), false,
+			bpFree.Trigger(core.NewConflictTrigger(BPFree, c.fifo), false,
 				core.Options{Timeout: c.cfg.Timeout, Bound: 1,
 					ExtraLocal: func() bool {
 						return c.completed.Load("pbzip2:extra") >= int64(c.total)

@@ -50,6 +50,12 @@ func NewPool(max int, cfg *Config) *Pool {
 // (the bug); the second-action side of the breakpoint sits in that
 // window.
 func (p *Pool) Borrow() *Object {
+	// Resolve the handle once; the trigger site below runs per loop
+	// iteration and skips the registry lookup.
+	var bpNotify *core.Breakpoint
+	if p.cfg != nil && p.cfg.Breakpoint {
+		bpNotify = p.cfg.Engine.Breakpoint(BPMissedNotify)
+	}
 	for {
 		var exhausted bool
 		var obj *Object
@@ -68,8 +74,8 @@ func (p *Pool) Borrow() *Object {
 		if exhausted {
 			// The window: a return's notification arriving right here
 			// is lost, and the wait below uses the stale flag.
-			if p.cfg != nil && p.cfg.Breakpoint {
-				p.cfg.Engine.TriggerHere(core.NewNotifyTrigger(BPMissedNotify, p.cond), false,
+			if bpNotify != nil {
+				bpNotify.Trigger(core.NewNotifyTrigger(BPMissedNotify, p.cond), false,
 					core.Options{Timeout: p.cfg.Timeout, Bound: 1})
 			}
 			p.mu.LockAt("Pool.java:borrow.wait")

@@ -122,13 +122,21 @@ func (rm *RepaintManager) PaintDirtyRegions() int {
 	rm.mu.LockAt("RepaintManager.java:paintDirtyRegions")
 	defer rm.mu.Unlock()
 	painted := 0
+	// Resolve the handle once; the trigger site below runs per dirty
+	// component and skips the registry lookup.
+	var bpDeadlock *core.Breakpoint
+	if rm.cfg != nil && rm.cfg.Breakpoint {
+		bpDeadlock = rm.cfg.Engine.Breakpoint(BPDeadlock)
+	}
 	for comp, r := range rm.dirty {
-		if rm.cfg != nil && rm.cfg.Breakpoint {
-			rm.cfg.Engine.TriggerHere(
+		if bpDeadlock != nil {
+			bpDeadlock.Trigger(
 				core.NewDeadlockTrigger(BPDeadlock, rm.mu, comp.mu), false,
 				core.Options{Timeout: rm.cfg.Timeout})
 		}
-		b := comp.Bounds() // locks the component while holding rm.mu
+		// Bounds locks the component while holding rm.mu.
+		//cbvet:ignore lockorder intentional: the Swing repaint-vs-caret deadlock repro (manager then component)
+		b := comp.Bounds()
 		clipped := r
 		if clipped.W > b.W {
 			clipped.W = b.W
@@ -169,6 +177,7 @@ func (c *Caret) Blink() {
 	c.comp.mu.LockAt("BasicCaret.java:blink")
 	defer c.comp.mu.Unlock()
 	c.visible = !c.visible
+	//cbvet:ignore lockorder intentional: the Swing repaint-vs-caret deadlock repro (component then manager)
 	c.rm.AddDirtyRegion(c.comp, Rect{X: 10, Y: 4, W: 2, H: 14})
 }
 

@@ -163,6 +163,12 @@ func runAtomicity(cfg Config) appkit.Result {
 				f()
 			}()
 		}
+		// Resolve the handle once; the trigger sites below run per
+		// iteration and skip the registry lookup.
+		var bpAtom *core.Breakpoint
+		if cfg.Breakpoint {
+			bpAtom = cfg.Engine.Breakpoint(BPAtomicity)
+		}
 		// Reader: repeatedly takes the last element, check-then-act.
 		spawn(func() {
 			for j := 0; j < 2000; j++ {
@@ -171,7 +177,7 @@ func runAtomicity(cfg Config) appkit.Result {
 					continue
 				}
 				if cfg.Breakpoint {
-					cfg.Engine.TriggerHere(core.NewAtomicityTrigger(BPAtomicity, l), false, opts)
+					bpAtom.Trigger(core.NewAtomicityTrigger(BPAtomicity, l), false, opts)
 				}
 				_ = l.Get(n - 1)
 			}
@@ -183,7 +189,7 @@ func runAtomicity(cfg Config) appkit.Result {
 			for j := 0; j < 50; j++ {
 				clear := l.Clear
 				if cfg.Breakpoint {
-					cfg.Engine.TriggerHereAnd(core.NewAtomicityTrigger(BPAtomicity, l), true, opts, clear)
+					bpAtom.TriggerAnd(core.NewAtomicityTrigger(BPAtomicity, l), true, opts, clear)
 				} else {
 					clear()
 				}

@@ -166,6 +166,12 @@ func runAtomicity(cfg Config) appkit.Result {
 	res := appkit.RunWithDeadline(30*time.Second, func() appkit.Result {
 		stale := make(chan bool, 1)
 		done := make(chan struct{}, 1)
+		// Resolve the handle once; the trigger sites below run per
+		// iteration and skip the registry lookup.
+		var bpAtom *core.Breakpoint
+		if cfg.Breakpoint {
+			bpAtom = cfg.Engine.Breakpoint(BPAtomicity)
+		}
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for j := 0; j < 2000; j++ {
@@ -173,7 +179,7 @@ func runAtomicity(cfg Config) appkit.Result {
 					continue
 				}
 				if cfg.Breakpoint {
-					cfg.Engine.TriggerHere(core.NewAtomicityTrigger(BPAtomicity, m), false, opts)
+					bpAtom.Trigger(core.NewAtomicityTrigger(BPAtomicity, m), false, opts)
 				}
 				if _, ok := m.Get(key); !ok {
 					select {
@@ -188,7 +194,7 @@ func runAtomicity(cfg Config) appkit.Result {
 			for j := 0; j < 50; j++ {
 				remove := func() { m.Remove(key) }
 				if cfg.Breakpoint {
-					cfg.Engine.TriggerHereAnd(core.NewAtomicityTrigger(BPAtomicity, m), true, opts, remove)
+					bpAtom.TriggerAnd(core.NewAtomicityTrigger(BPAtomicity, m), true, opts, remove)
 				} else {
 					remove()
 				}

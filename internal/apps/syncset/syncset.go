@@ -169,12 +169,18 @@ func runAtomicity(cfg Config) appkit.Result {
 				f()
 			}()
 		}
+		// Resolve the handle once; the trigger sites below run per
+		// iteration and skip the registry lookup.
+		var bpAtom *core.Breakpoint
+		if cfg.Breakpoint {
+			bpAtom = cfg.Engine.Breakpoint(BPAtomicity)
+		}
 		// Snapshotter.
 		spawn(func() {
 			for j := 0; j < 2000; j++ {
 				n := s.Size()
 				if cfg.Breakpoint {
-					cfg.Engine.TriggerHere(core.NewAtomicityTrigger(BPAtomicity, s), false, opts)
+					bpAtom.Trigger(core.NewAtomicityTrigger(BPAtomicity, s), false, opts)
 				}
 				s.CopyInto(make([]int64, n))
 			}
@@ -190,7 +196,7 @@ func runAtomicity(cfg Config) appkit.Result {
 					}
 				}
 				if cfg.Breakpoint {
-					cfg.Engine.TriggerHereAnd(core.NewAtomicityTrigger(BPAtomicity, s), true, opts, grow)
+					bpAtom.TriggerAnd(core.NewAtomicityTrigger(BPAtomicity, s), true, opts, grow)
 				} else {
 					grow()
 				}

@@ -130,8 +130,11 @@ func TestThreeLockCycleDetected(t *testing.T) {
 	w := newWorkers(3)
 	defer w.stop()
 	// A->B, B->C, C->A: a three-lock cycle with no two-lock reversal.
+	//cbvet:ignore lockorder intentional: this test builds a three-way cycle to exercise the detector
 	w.run(0, func() { a.LockAt("t0:a"); b.LockAt("t0:b"); b.Unlock(); a.Unlock() })
+	//cbvet:ignore lockorder intentional: this test builds a three-way cycle to exercise the detector
 	w.run(1, func() { b.LockAt("t1:b"); c.LockAt("t1:c"); c.Unlock(); b.Unlock() })
+	//cbvet:ignore lockorder intentional: this test builds a three-way cycle to exercise the detector
 	w.run(2, func() { c.LockAt("t2:c"); a.LockAt("t2:a"); a.Unlock(); c.Unlock() })
 
 	var chained []Report

@@ -248,6 +248,7 @@ func TestLockOrderCycleReport(t *testing.T) {
 	// Thread 0: csList then factory (clientConnectionFinished path).
 	w.run(0, func() {
 		csList.LockAt("SocketClientFactory.java:623")
+		//cbvet:ignore lockorder intentional inversion: this test feeds the runtime detector the Jigsaw cycle
 		factory.LockAt("SocketClientFactory.java:574")
 		factory.Unlock()
 		csList.Unlock()
@@ -255,6 +256,7 @@ func TestLockOrderCycleReport(t *testing.T) {
 	// Thread 1: factory then csList (killClients path).
 	w.run(1, func() {
 		factory.LockAt("SocketClientFactory.java:867")
+		//cbvet:ignore lockorder intentional inversion: this test feeds the runtime detector the Jigsaw cycle
 		csList.LockAt("SocketClientFactory.java:872")
 		csList.Unlock()
 		factory.Unlock()

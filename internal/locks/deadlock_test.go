@@ -42,13 +42,17 @@ func TestFindDeadlocksDetectsLiveCycle(t *testing.T) {
 		a.Lock()
 		acquired <- struct{}{}
 		time.Sleep(20 * time.Millisecond)
-		b.Lock() // blocks forever
+		// Blocks forever.
+		//cbvet:ignore lockorder intentional: this test constructs the deadlock the detector must report
+		b.Lock()
 	}()
 	go func() {
 		b.Lock()
 		acquired <- struct{}{}
 		time.Sleep(20 * time.Millisecond)
-		a.Lock() // blocks forever
+		// Blocks forever.
+		//cbvet:ignore lockorder intentional: this test constructs the deadlock the detector must report
+		a.Lock()
 	}()
 	<-acquired
 	<-acquired

@@ -54,14 +54,18 @@ func TestSupervisorConfirmsDeadlock(t *testing.T) {
 		a.LockAt("siteA")
 		acquired <- struct{}{}
 		time.Sleep(20 * time.Millisecond)
-		b.LockAt("siteA2") // blocks forever
+		// Blocks forever.
+		//cbvet:ignore lockorder intentional: this test constructs the deadlock the supervisor must confirm
+		b.LockAt("siteA2")
 	}()
 	go func() {
 		gids <- locks.GoroutineID()
 		b.LockAt("siteB")
 		acquired <- struct{}{}
 		time.Sleep(20 * time.Millisecond)
-		a.LockAt("siteB2") // blocks forever
+		// Blocks forever.
+		//cbvet:ignore lockorder intentional: this test constructs the deadlock the supervisor must confirm
+		a.LockAt("siteB2")
 	}()
 	want := map[uint64]bool{<-gids: true, <-gids: true}
 	<-acquired
@@ -417,6 +421,7 @@ func TestSupervisorBaselinesPreexistingCycles(t *testing.T) {
 		a.Lock()
 		acquired <- struct{}{}
 		time.Sleep(10 * time.Millisecond)
+		//cbvet:ignore lockorder intentional: this test constructs the deadlock the supervisor must confirm
 		b.Lock()
 	}()
 	go func() {
@@ -424,6 +429,7 @@ func TestSupervisorBaselinesPreexistingCycles(t *testing.T) {
 		b.Lock()
 		acquired <- struct{}{}
 		time.Sleep(10 * time.Millisecond)
+		//cbvet:ignore lockorder intentional: this test constructs the deadlock the supervisor must confirm
 		a.Lock()
 	}()
 	leaked := map[uint64]bool{<-gids: true, <-gids: true}
