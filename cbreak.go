@@ -280,6 +280,15 @@ type (
 	Incident = guard.Incident
 	// IncidentKind classifies incidents.
 	IncidentKind = guard.IncidentKind
+	// DurableSink receives a durable copy of every engine event and
+	// incident (docs/USAGE.md, "Durability & crash recovery"); the
+	// canonical implementation is internal/journal/sink.
+	DurableSink = core.DurableSink
+	// Event is one engine event-log entry; DurableSink implementations
+	// receive a copy of each as it is recorded.
+	Event = core.Event
+	// EventKind classifies engine events (arrived/postponed/hit/timeout).
+	EventKind = core.EventKind
 	// BreakerConfig parameterizes per-breakpoint circuit breakers.
 	BreakerConfig = guard.BreakerConfig
 	// BreakerState is a circuit breaker's state (closed/open/half-open).
@@ -371,6 +380,11 @@ func Incidents() []Incident { return core.Default().Incidents() }
 // IncidentCount returns the default engine's monotonic total of
 // incidents of one kind (monotonic even after the retained ring wraps).
 func IncidentCount(k IncidentKind) int64 { return core.Default().IncidentCount(k) }
+
+// SetDurableSink tees the default engine's events and incidents into a
+// durable sink (nil removes it), so a crashed process leaves its
+// breakpoint history on disk for post-mortem replay.
+func SetDurableSink(s DurableSink) { core.Default().SetDurableSink(s) }
 
 // SnapshotStats returns atomic snapshots of every breakpoint's counters
 // on the default engine, sorted by name.

@@ -11,11 +11,17 @@
 //	cbtables -table 1 -runs 100   # the paper used 100 runs per row
 //
 // Supervised campaigns (-json) run every trial in a killable child
-// process with deadlines, retries, a JSONL checkpoint, and quarantine,
-// so one deadlocked or crashing reproduction cannot wedge the run:
+// process with deadlines, retries, a crash-safe checkpoint journal, and
+// quarantine, so one deadlocked or crashing reproduction cannot wedge
+// the run — and a killed run loses nothing:
 //
 //	cbtables -table 1 -runs 100 -json -seed 7 -parallel 4
-//	cbtables -table 1 -runs 100 -json -seed 7 -resume   # after a SIGINT
+//	cbtables -table 1 -runs 100 -json -seed 7 -resume   # after ANY death
+//
+// The checkpoint is a write-ahead journal directory (-checkpoint); with
+// the default -checkpoint-sync=record every finished trial is fsynced
+// before the campaign moves on, so -resume recovers everything up to a
+// SIGKILL or power cut (docs/USAGE.md, "Durability & crash recovery").
 package main
 
 import (
@@ -24,13 +30,23 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"cbreak/internal/apps/appkit"
 	"cbreak/internal/campaign"
+	"cbreak/internal/core"
 	"cbreak/internal/harness"
+	"cbreak/internal/journal"
+	"cbreak/internal/journal/sink"
 )
+
+// durableEventsEnv carries the -durable-events directory to trial
+// worker subprocesses; each worker journals its engines' events and
+// incidents into its own pid-named subdirectory (journals are
+// single-writer).
+const durableEventsEnv = "CB_DURABLE_EVENTS"
 
 func main() {
 	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, log4j, pause, precision, model, all")
@@ -38,13 +54,17 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	seed := flag.Int64("seed", 1, "campaign seed: derives each trial's workload jitter and the retry backoff, so runs reproduce run-to-run")
 	deadline := flag.Duration("deadline", 30*time.Second, "hard per-trial wall-clock deadline; hung trials are killed and counted as 'trial timeout'")
-	jsonMode := flag.Bool("json", false, "run as a supervised campaign: subprocess-isolated trials journaled to the -checkpoint JSONL file")
+	jsonMode := flag.Bool("json", false, "run as a supervised campaign: subprocess-isolated trials journaled to the -checkpoint journal")
 	resume := flag.Bool("resume", false, "resume the -checkpoint journal, skipping completed trials (requires the same -seed it was written with)")
-	checkpoint := flag.String("checkpoint", "cbtables-campaign.jsonl", "JSONL trial journal path for supervised campaigns")
+	checkpoint := flag.String("checkpoint", "cbtables-campaign.ckpt", "checkpoint journal directory for supervised campaigns (a legacy .jsonl file here is migrated on -resume)")
+	checkpointSync := flag.String("checkpoint-sync", "record", "checkpoint durability: record (fsync per trial), interval (group commit), none")
 	parallel := flag.Int("parallel", 1, "concurrently running trial workers in supervised campaigns")
 	retries := flag.Int("retries", 2, "retries per trial for infrastructure failures (worker crash/timeout), with jittered exponential backoff")
 	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive worker failures before a configuration is quarantined and its row marked partial")
 	chaosCrash := flag.Int("chaos-crash", 0, "inject a worker crash into the Nth trial dispatch (1-based); CI uses this to prove campaigns survive crashing trials")
+	chaosKill := flag.Int("chaos-kill-dispatch", 0, "SIGKILL this process at the Nth trial dispatch (1-based); the CI crash-recovery smoke proves -resume recovers from it")
+	synthetic := flag.Bool("synthetic-trials", false, "derive every trial outcome deterministically from its seed instead of executing it (campaign-machinery testing; output depends only on -seed)")
+	durableEvents := flag.String("durable-events", "", "journal every engine event and guard incident under this directory for post-mortem recovery (one journal per process)")
 	trialWorker := flag.Bool("trial-worker", false, "internal: run one trial from a JSON request on stdin and report on stdout")
 	flag.Parse()
 
@@ -62,30 +82,59 @@ func main() {
 		return t.Render()
 	}
 
+	if *durableEvents != "" {
+		// Tee engine events/incidents to disk: in-process trials journal
+		// here, worker subprocesses into their own subdirectories via the
+		// environment (inherited through SubprocessExecutor).
+		os.Setenv(durableEventsEnv, *durableEvents)
+		s, err := openDurableSink(*durableEvents)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbtables: %v\n", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+	}
+
 	var run harness.Runner
 	var sup *campaign.Supervisor
 	var cp *campaign.Checkpoint
 	if *jsonMode || *resume {
+		pol, err := journal.ParseSyncPolicy(*checkpointSync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbtables: -checkpoint-sync: %v\n", err)
+			os.Exit(2)
+		}
 		bin, err := os.Executable()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cbtables: cannot locate own binary for worker re-exec: %v\n", err)
 			os.Exit(1)
 		}
-		cp, err = campaign.Open(*checkpoint, *seed, *resume)
+		cp, err = campaign.OpenOptions(*checkpoint, *seed, *resume, pol)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cbtables: %v\n", err)
 			os.Exit(1)
 		}
 		defer cp.Close()
+		if m := cp.Migrated(); m != "" {
+			fmt.Fprintf(os.Stderr, "cbtables: migrated legacy checkpoint to a journal; original kept at %s\n", m)
+		}
+		if rec := cp.Recovery(); rec.TruncatedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "cbtables: checkpoint recovery truncated a torn tail: %d byte(s) of %s (%s); that trial will re-run\n",
+				rec.TruncatedBytes, rec.TornSegment, rec.TornReason)
+		}
 		if *resume && cp.Len() > 0 {
 			fmt.Fprintf(os.Stderr, "cbtables: resuming %s: %d trials already journaled\n", *checkpoint, cp.Len())
 		}
 		if *retries == 0 {
 			*retries = -1 // flag 0 means "no retries"; Config 0 means default
 		}
+		execute := campaign.SubprocessExecutor(bin, "-trial-worker")
+		if *synthetic {
+			execute = campaign.SyntheticExecutor()
+		}
 		sup, err = campaign.New(campaign.Config{
 			Context:            ctx,
-			Execute:            campaign.SubprocessExecutor(bin, "-trial-worker"),
+			Execute:            execute,
 			Checkpoint:         cp,
 			Seed:               *seed,
 			Deadline:           *deadline,
@@ -93,6 +142,7 @@ func main() {
 			QuarantineAfter:    *quarantineAfter,
 			Parallel:           *parallel,
 			ChaosCrashDispatch: *chaosCrash,
+			ChaosKillDispatch:  *chaosKill,
 			Log:                os.Stderr,
 		})
 		if err != nil {
@@ -153,6 +203,21 @@ func main() {
 	}
 }
 
+// openDurableSink opens this process's event/incident journal under
+// base (pid-named, so concurrent worker processes never share a
+// single-writer journal) and installs it on every trial engine.
+func openDurableSink(base string) (*sink.Sink, error) {
+	dir := filepath.Join(base, fmt.Sprintf("proc-%d", os.Getpid()))
+	s, err := sink.Open(dir, journal.SyncInterval)
+	if err != nil {
+		return nil, fmt.Errorf("durable events: %w", err)
+	}
+	harness.SetTrialEngineObserver(func(e *core.Engine, _ harness.TrialSpec) {
+		e.SetDurableSink(s)
+	})
+	return s, nil
+}
+
 // workerMain is the hidden -trial-worker mode: execute exactly one
 // trial, addressed by the JSON WorkerRequest on stdin, and report the
 // TrialOutcome as one JSON line on stdout. The supervisor enforces the
@@ -161,6 +226,14 @@ func workerMain() int {
 	if os.Getenv(campaign.ChaosEnv) == campaign.ChaosCrash {
 		// CI's injected infrastructure failure: die without reporting.
 		return 3
+	}
+	if dir := os.Getenv(durableEventsEnv); dir != "" {
+		s, err := openDurableSink(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trial-worker: %v\n", err)
+			return 1
+		}
+		defer s.Close()
 	}
 	if err := campaign.ServeTrial(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "trial-worker: %v\n", err)

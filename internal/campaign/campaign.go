@@ -72,6 +72,13 @@ type Config struct {
 	// dispatch ordinal's attempt (1-based) — the CI smoke campaign uses
 	// it to prove a crashing trial cannot sink a run.
 	ChaosCrashDispatch int
+	// ChaosKillDispatch, when > 0, SIGKILLs the supervisor's OWN
+	// process at that global dispatch ordinal (1-based) — no deferred
+	// cleanup, no checkpoint close, nothing. The crash-recovery harness
+	// uses it to prove the kill-anywhere invariant: a campaign killed
+	// at any dispatch resumes from its checkpoint journal and renders
+	// byte-identical results.
+	ChaosKillDispatch int
 	// Log receives human-readable progress and incident lines (nil =
 	// silent).
 	Log io.Writer
@@ -260,9 +267,14 @@ func (s *Supervisor) runTrial(spec harness.TrialSpec, trial int) (out harness.Tr
 			return out, attempts, true
 		}
 		req.Chaos = ""
-		if n := s.nextDispatch(); s.cfg.ChaosCrashDispatch > 0 && n == s.cfg.ChaosCrashDispatch {
+		n := s.nextDispatch()
+		if s.cfg.ChaosCrashDispatch > 0 && n == s.cfg.ChaosCrashDispatch {
 			req.Chaos = ChaosCrash
 			s.logf("campaign: injecting %s chaos into %s#%d (dispatch %d)", ChaosCrash, spec.Key, trial, n)
+		}
+		if s.cfg.ChaosKillDispatch > 0 && n == s.cfg.ChaosKillDispatch {
+			s.logf("campaign: SIGKILLing self at dispatch %d (%s#%d)", n, spec.Key, trial)
+			killSelf()
 		}
 		tctx, cancel := context.WithTimeout(s.ctx, s.cfg.Deadline)
 		got, err := s.cfg.Execute(tctx, req)

@@ -1,25 +1,24 @@
 package campaign
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"sync"
 
 	"cbreak/internal/harness"
+	"cbreak/internal/journal"
 )
 
 // checkpointVersion is bumped on incompatible record-schema changes;
 // resume refuses mismatched versions rather than misreading records.
 const checkpointVersion = 1
 
-// Header is the first line of a checkpoint file. The seed is recorded
-// so -resume can refuse a checkpoint written under a different -seed:
-// mixing journaled trials from one seed with fresh trials from another
-// would silently corrupt the campaign's reproducibility.
+// Header is the first record of a checkpoint journal. The seed is
+// recorded so -resume can refuse a checkpoint written under a different
+// -seed: mixing journaled trials from one seed with fresh trials from
+// another would silently corrupt the campaign's reproducibility.
 type Header struct {
 	Kind    string `json:"kind"` // always "campaign-checkpoint"
 	Version int    `json:"version"`
@@ -29,8 +28,9 @@ type Header struct {
 // Record is one journaled trial: its address, per-trial seed, how many
 // attempts it took (1 = no retries), and the full outcome including the
 // engine's guard incident counters and per-breakpoint stats snapshots.
-// One Record per line makes the journal greppable — e.g.
-// `grep '"panic"' campaign.jsonl` surfaces hardening regressions.
+// Payloads are JSON, one per journal record, so the checkpoint stays
+// greppable — e.g. `grep -a '"panic"' <dir>/seg-*.wal` surfaces
+// hardening regressions.
 type Record struct {
 	Key      harness.TrialKey     `json:"key"`
 	Trial    int                  `json:"trial"`
@@ -44,16 +44,20 @@ type recordKey struct {
 	trial int
 }
 
-// Checkpoint is an append-only JSONL journal of completed trials.
-// Records are written (and reach the kernel) as each trial completes,
-// so a SIGINT or crash loses at most the trials still in flight; a
-// resumed campaign replays the journal and re-runs only what is
-// missing. Safe for concurrent use by pool workers.
+// Checkpoint journals completed trials into a crash-safe write-ahead
+// journal (internal/journal): CRC-framed records in rotated segments,
+// so a SIGKILL or power cut at ANY instant — including mid-write —
+// costs at most the record being written; reopening truncates the torn
+// tail and a resumed campaign re-runs only what is missing. Safe for
+// concurrent use by pool workers.
 type Checkpoint struct {
 	mu     sync.Mutex
-	f      *os.File
+	j      *journal.Journal
 	header Header
 	done   map[recordKey]Record
+
+	recovery journal.RecoveryInfo
+	migrated string // legacy JSONL backup path, when one was converted
 }
 
 // ErrSeedMismatch is returned when resuming a checkpoint written under
@@ -61,77 +65,92 @@ type Checkpoint struct {
 var ErrSeedMismatch = errors.New("campaign: checkpoint seed does not match -seed")
 
 // Open creates (resume=false) or resumes (resume=true) the checkpoint
-// at path. Resuming a file that does not exist starts a fresh journal;
-// resuming one whose header seed differs from seed fails with
-// ErrSeedMismatch. Without resume an existing file is truncated.
+// journal at path with per-record fsync. See OpenOptions.
 func Open(path string, seed int64, resume bool) (*Checkpoint, error) {
+	return OpenOptions(path, seed, resume, journal.SyncEachRecord)
+}
+
+// OpenOptions creates or resumes the checkpoint journal at path (a
+// directory). Resuming a path that does not exist starts a fresh
+// journal; resuming one whose header seed differs from seed fails with
+// ErrSeedMismatch. Without resume, existing contents are discarded.
+//
+// Resuming a pre-journal checkpoint — a plain JSONL *file* at path —
+// migrates it: the records are read tolerantly (a torn trailing line
+// from a crash mid-write is dropped, so that trial simply re-runs), the
+// file is kept as path+".legacy", and a journal directory takes its
+// place.
+func OpenOptions(path string, seed int64, resume bool, sync journal.SyncPolicy) (*Checkpoint, error) {
 	cp := &Checkpoint{
 		header: Header{Kind: "campaign-checkpoint", Version: checkpointVersion, Seed: seed},
 		done:   make(map[recordKey]Record),
 	}
-	if resume {
-		if err := cp.load(path, seed); err != nil {
+	var legacy []Record
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		if !resume {
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("campaign: replace old checkpoint file: %w", err)
+			}
+		} else {
+			legacy, err = loadLegacy(path, seed)
+			if err != nil {
+				return nil, err
+			}
+			backup := path + ".legacy"
+			if err := os.Rename(path, backup); err != nil {
+				return nil, fmt.Errorf("campaign: back up legacy checkpoint: %w", err)
+			}
+			cp.migrated = backup
+		}
+	} else if err == nil && !resume {
+		// A fresh (non-resume) campaign truncates: yesterday's journal
+		// must not leak stale trials into today's tables.
+		if err := os.RemoveAll(path); err != nil {
+			return nil, fmt.Errorf("campaign: clear old checkpoint: %w", err)
+		}
+	} else if err == nil && resume {
+		// Existing journal directory: replayed below.
+	}
+
+	j, err := journal.Open(journal.Options{Dir: path, Sync: sync})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint journal: %w", err)
+	}
+	cp.j = j
+	cp.recovery = j.Recovery()
+
+	if resume && cp.migrated == "" {
+		if err := cp.replay(path, seed); err != nil {
+			j.Close()
 			return nil, err
 		}
 	}
-	flags := os.O_CREATE | os.O_WRONLY
-	if resume {
-		flags |= os.O_APPEND
-	} else {
-		flags |= os.O_TRUNC
+	if cp.j.Len() == 0 {
+		if err := cp.appendJSON(cp.header); err != nil {
+			j.Close()
+			return nil, err
+		}
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
-	}
-	cp.f = f
-	if !resume || len(cp.done) == 0 && cp.fileEmpty() {
-		if err := cp.writeHeader(); err != nil {
-			f.Close()
+	// Re-journal migrated legacy records so the journal is the one
+	// authoritative artifact going forward.
+	for _, rec := range legacy {
+		if err := cp.Append(rec); err != nil {
+			j.Close()
 			return nil, err
 		}
 	}
 	return cp, nil
 }
 
-func (c *Checkpoint) fileEmpty() bool {
-	info, err := c.f.Stat()
-	return err == nil && info.Size() == 0
-}
-
-func (c *Checkpoint) writeHeader() error {
-	line, err := json.Marshal(c.header)
-	if err != nil {
-		return err
-	}
-	_, err = c.f.Write(append(line, '\n'))
-	return err
-}
-
-// load replays an existing journal into the done index. A corrupt
-// trailing line (torn final write from a crash) is tolerated and
-// dropped; corruption anywhere else is an error.
-func (c *Checkpoint) load(path string, seed int64) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("campaign: resume checkpoint: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		line := sc.Bytes()
-		lineNo++
-		if len(line) == 0 {
-			continue
-		}
-		if lineNo == 1 {
+// replay loads an existing checkpoint journal into the done index. The
+// journal layer has already verified checksums and truncated any torn
+// tail, so every payload here is a complete record; a payload that
+// still fails to parse means a schema break, which is an error.
+func (c *Checkpoint) replay(path string, seed int64) error {
+	_, err := journal.Replay(path, func(lsn uint64, payload []byte) error {
+		if lsn == 1 {
 			var h Header
-			if err := json.Unmarshal(line, &h); err != nil || h.Kind != "campaign-checkpoint" {
+			if err := json.Unmarshal(payload, &h); err != nil || h.Kind != "campaign-checkpoint" {
 				return fmt.Errorf("campaign: %s is not a campaign checkpoint", path)
 			}
 			if h.Version != checkpointVersion {
@@ -141,23 +160,16 @@ func (c *Checkpoint) load(path string, seed int64) error {
 				return fmt.Errorf("%w: checkpoint %s was written with seed %d, got -seed %d; re-run with -seed %d or start a fresh checkpoint",
 					ErrSeedMismatch, path, h.Seed, seed, h.Seed)
 			}
-			continue
+			return nil
 		}
 		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn final line means the process died mid-write; that
-			// trial simply re-runs. Anything earlier is real corruption.
-			if !sc.Scan() {
-				break
-			}
-			return fmt.Errorf("campaign: corrupt checkpoint %s at line %d: %v", path, lineNo, err)
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("campaign: checkpoint %s record %d does not parse: %v", path, lsn, err)
 		}
 		c.done[recordKey{rec.Key, rec.Trial}] = rec
-	}
-	if err := sc.Err(); err != nil && err != io.EOF {
-		return fmt.Errorf("campaign: reading checkpoint %s: %w", path, err)
-	}
-	return nil
+		return nil
+	})
+	return err
 }
 
 // Lookup returns the journaled record for (key, trial), if any.
@@ -171,21 +183,32 @@ func (c *Checkpoint) Lookup(key harness.TrialKey, trial int) (Record, bool) {
 	return rec, ok
 }
 
-// Append journals a completed trial. The line hits the file descriptor
-// before Append returns, so an interrupt after this point cannot lose
-// the trial.
+// Append journals a completed trial. With the default per-record fsync
+// policy the record is durable before Append returns, so not even a
+// SIGKILL immediately after can lose the trial.
 func (c *Checkpoint) Append(rec Record) error {
 	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if _, err := c.j.Append(line); err != nil {
+		return err
+	}
 	c.done[recordKey{rec.Key, rec.Trial}] = rec
-	_, err = c.f.Write(append(line, '\n'))
+	return nil
+}
+
+func (c *Checkpoint) appendJSON(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = c.j.Append(line)
 	return err
 }
 
@@ -199,20 +222,35 @@ func (c *Checkpoint) Len() int {
 	return len(c.done)
 }
 
-// Close syncs and closes the journal file.
+// Recovery reports what the journal layer found on open: records
+// recovered, segments read, and the torn tail (if any) it truncated.
+func (c *Checkpoint) Recovery() journal.RecoveryInfo {
+	if c == nil {
+		return journal.RecoveryInfo{}
+	}
+	return c.recovery
+}
+
+// Migrated returns the backup path of the legacy JSONL checkpoint this
+// open converted, or "" when the checkpoint was already a journal.
+func (c *Checkpoint) Migrated() string {
+	if c == nil {
+		return ""
+	}
+	return c.migrated
+}
+
+// Close syncs and closes the journal.
 func (c *Checkpoint) Close() error {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.f == nil {
+	if c.j == nil {
 		return nil
 	}
-	err := c.f.Sync()
-	if cerr := c.f.Close(); err == nil {
-		err = cerr
-	}
-	c.f = nil
+	err := c.j.Close()
+	c.j = nil
 	return err
 }

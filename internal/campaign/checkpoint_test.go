@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 
 	"cbreak/internal/apps/appkit"
 	"cbreak/internal/harness"
+	"cbreak/internal/journal"
 )
 
 func testRecord(row, trial int) Record {
@@ -28,8 +30,26 @@ func testRecord(row, trial int) Record {
 	}
 }
 
+// writeLegacyCheckpoint builds a pre-journal JSONL checkpoint file, the
+// format old campaigns left behind.
+func writeLegacyCheckpoint(t *testing.T, path string, seed int64, recs ...Record) {
+	t.Helper()
+	var b strings.Builder
+	hdr, _ := json.Marshal(Header{Kind: "campaign-checkpoint", Version: checkpointVersion, Seed: seed})
+	b.Write(hdr)
+	b.WriteByte('\n')
+	for _, rec := range recs {
+		line, _ := json.Marshal(rec)
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCheckpointRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	path := filepath.Join(t.TempDir(), "cp")
 	cp, err := Open(path, 7, false)
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +83,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 }
 
 func TestCheckpointSeedMismatchRefused(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	path := filepath.Join(t.TempDir(), "cp")
 	cp, err := Open(path, 7, false)
 	if err != nil {
 		t.Fatal(err)
@@ -80,8 +100,12 @@ func TestCheckpointSeedMismatchRefused(t *testing.T) {
 	}
 }
 
-func TestCheckpointTornFinalLineTolerated(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "cp.jsonl")
+// TestCheckpointTornJournalTailTolerated is the journal-era version of
+// the crash-mid-write scenario: SIGKILL while a record frame is half
+// written. Resume must truncate the torn frame and keep every record
+// before it.
+func TestCheckpointTornJournalTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp")
 	cp, err := Open(path, 7, false)
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +113,85 @@ func TestCheckpointTornFinalLineTolerated(t *testing.T) {
 	cp.Append(testRecord(0, 0))
 	cp.Append(testRecord(0, 1))
 	cp.Close()
-	// Simulate a crash mid-write: a truncated record on the final line.
+	// Tear the tail of the (single) segment: chop 5 bytes off the last
+	// frame, as a crash mid-write would.
+	segs, err := filepath.Glob(filepath.Join(path, "seg-*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v err=%v", segs, err)
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, 7, true)
+	if err != nil {
+		t.Fatalf("torn journal tail should be tolerated: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Fatalf("Len = %d, want the 1 intact record", re.Len())
+	}
+	if re.Recovery().TruncatedBytes == 0 {
+		t.Fatal("recovery info does not report the truncated tail")
+	}
+	if _, ok := re.Lookup(testRecord(0, 0).Key, 0); !ok {
+		t.Fatal("intact record lost with the torn one")
+	}
+	if _, ok := re.Lookup(testRecord(0, 1).Key, 1); ok {
+		t.Fatal("torn record surfaced as complete")
+	}
+}
+
+// TestCheckpointLegacyMigration: resuming a pre-journal JSONL file
+// migrates its records into a journal directory and keeps the original
+// as a .legacy backup.
+func TestCheckpointLegacyMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	writeLegacyCheckpoint(t, path, 7, testRecord(0, 0), testRecord(1, 0))
+
+	cp, err := Open(path, 7, true)
+	if err != nil {
+		t.Fatalf("legacy resume: %v", err)
+	}
+	if cp.Migrated() != path+".legacy" {
+		t.Fatalf("Migrated() = %q", cp.Migrated())
+	}
+	if cp.Len() != 2 {
+		t.Fatalf("Len = %d after migration", cp.Len())
+	}
+	cp.Append(testRecord(2, 0))
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".legacy"); err != nil {
+		t.Fatalf("legacy backup missing: %v", err)
+	}
+
+	// A second resume reads the journal, not the legacy file.
+	re, err := Open(path, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Migrated() != "" {
+		t.Fatal("second resume re-migrated")
+	}
+	if re.Len() != 3 {
+		t.Fatalf("Len = %d after second resume", re.Len())
+	}
+}
+
+// TestCheckpointLegacyTornFinalLineTolerated is satellite coverage: the
+// legacy writer could die mid-write, leaving a truncated final JSON
+// line. Migration must drop that line (the trial re-runs) instead of
+// failing the resume.
+func TestCheckpointLegacyTornFinalLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	writeLegacyCheckpoint(t, path, 7, testRecord(0, 0), testRecord(0, 1))
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -107,14 +209,9 @@ func TestCheckpointTornFinalLineTolerated(t *testing.T) {
 	}
 }
 
-func TestCheckpointMidFileCorruptionRejected(t *testing.T) {
+func TestCheckpointLegacyMidFileCorruptionRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cp.jsonl")
-	cp, err := Open(path, 7, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cp.Append(testRecord(0, 0))
-	cp.Close()
+	writeLegacyCheckpoint(t, path, 7, testRecord(0, 0))
 	// Garbage with a valid record AFTER it: corruption mid-file, not a
 	// torn final write.
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
@@ -128,10 +225,14 @@ func TestCheckpointMidFileCorruptionRejected(t *testing.T) {
 	if _, err := Open(path, 7, true); err == nil {
 		t.Fatal("mid-file corruption should be rejected, not silently skipped")
 	}
+	// The refused file must remain in place, untouched.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("refused legacy file was moved: %v", err)
+	}
 }
 
-func TestCheckpointResumeMissingFileStartsFresh(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "never-written.jsonl")
+func TestCheckpointResumeMissingPathStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never-written")
 	cp, err := Open(path, 7, true)
 	if err != nil {
 		t.Fatalf("resuming a missing checkpoint should start fresh: %v", err)
@@ -140,13 +241,20 @@ func TestCheckpointResumeMissingFileStartsFresh(t *testing.T) {
 	if cp.Len() != 0 {
 		t.Fatalf("Len = %d, want 0", cp.Len())
 	}
-	// The fresh file must still carry a header so a later resume works.
-	data, err := os.ReadFile(path)
+	// The fresh journal must still carry a header so a later resume
+	// validates the seed.
+	var first []byte
+	_, err = journal.Replay(path, func(lsn uint64, p []byte) error {
+		if lsn == 1 {
+			first = append([]byte(nil), p...)
+		}
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"campaign-checkpoint"`) {
-		t.Fatalf("fresh resume file missing header: %q", data)
+	if !strings.Contains(string(first), `"campaign-checkpoint"`) {
+		t.Fatalf("fresh journal missing header: %q", first)
 	}
 }
 
@@ -160,5 +268,8 @@ func TestNilCheckpointIsSafe(t *testing.T) {
 	}
 	if cp.Len() != 0 || cp.Close() != nil {
 		t.Fatal("nil Len/Close misbehaved")
+	}
+	if cp.Migrated() != "" || cp.Recovery().Records != 0 {
+		t.Fatal("nil Migrated/Recovery misbehaved")
 	}
 }

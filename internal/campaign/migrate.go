@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// loadLegacy reads a pre-journal JSONL checkpoint file for migration.
+//
+// The legacy writer appended "line\n" with a plain write, so a crash
+// mid-write leaves a torn final line (no trailing newline, or a
+// truncated JSON document). That trial was never acknowledged durable,
+// so the torn line is simply dropped and the trial re-runs — it must
+// NOT fail the whole resume. Corruption anywhere *before* the final
+// line is a different story: records were lost in the middle, the file
+// cannot be trusted, and resume refuses it.
+func loadLegacy(path string, seed int64) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read legacy checkpoint: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed file ends with "\n", so the final split element is
+	// empty; anything else is the torn tail of an interrupted write.
+	last := len(lines) - 1
+	torn := len(lines[last]) != 0
+	lines = lines[:last]
+
+	if len(lines) == 0 {
+		if torn {
+			return nil, nil // the header itself was torn; nothing to keep
+		}
+		return nil, fmt.Errorf("campaign: legacy checkpoint %s is empty", path)
+	}
+	var h Header
+	if err := json.Unmarshal(lines[0], &h); err != nil || h.Kind != "campaign-checkpoint" {
+		return nil, fmt.Errorf("campaign: %s is not a campaign checkpoint", path)
+	}
+	if h.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, this binary writes %d", path, h.Version, checkpointVersion)
+	}
+	if h.Seed != seed {
+		return nil, fmt.Errorf("%w: checkpoint %s was written with seed %d, got -seed %d; re-run with -seed %d or start a fresh checkpoint",
+			ErrSeedMismatch, path, h.Seed, seed, h.Seed)
+	}
+	var out []Record
+	for i, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("campaign: legacy checkpoint %s line %d does not parse: %v", path, i+2, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package campaign
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// workerSysProcAttr: no process-group/parent-death support wired on
+// this platform; workers are killed individually.
+func workerSysProcAttr() *syscall.SysProcAttr { return nil }
+
+// killWorkerTree kills the worker process directly.
+func killWorkerTree(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	return cmd.Process.Kill()
+}

@@ -1,0 +1,73 @@
+//go:build linux
+
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestWorkerTreeReapedOnDeadlineKill pins the satellite guarantee that
+// killing a worker reaps its whole process tree: the worker here forks
+// a long-lived grandchild, the supervisor's deadline kill fires, and
+// the grandchild must die with the worker (process-group kill), not
+// linger as an orphan the way a direct Process.Kill would leave it.
+func TestWorkerTreeReapedOnDeadlineKill(t *testing.T) {
+	dir := t.TempDir()
+	pidFile := filepath.Join(dir, "grandchild.pid")
+	// The worker: background a sleep (the grandchild), record its pid,
+	// then block. It never answers the trial protocol — the deadline
+	// kill is the only way out.
+	script := "sleep 300 & echo $! > " + pidFile + "; wait"
+	exec := SubprocessExecutor("/bin/sh", "-c", script)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := exec(ctx, WorkerRequest{})
+		done <- err
+	}()
+
+	// Wait for the grandchild to exist.
+	var gpid int
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if data, err := os.ReadFile(pidFile); err == nil && len(data) > 0 {
+			gpid, err = strconv.Atoi(strings.TrimSpace(string(data)))
+			if err == nil && gpid > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("grandchild never started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel() // the supervisor's deadline kill
+	if err := <-done; err == nil {
+		t.Fatal("killed worker reported success")
+	}
+
+	// The grandchild must be gone (or a moment from it): signal 0
+	// probes existence without touching anything.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		err := syscall.Kill(gpid, 0)
+		if err == syscall.ESRCH {
+			return // reaped
+		}
+		if time.Now().After(deadline) {
+			syscall.Kill(gpid, syscall.SIGKILL) // don't leak it from the test either
+			t.Fatalf("grandchild %d still alive after worker kill (err=%v)", gpid, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

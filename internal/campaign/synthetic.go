@@ -1,0 +1,62 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/harness"
+)
+
+// SyntheticOutcome derives a trial outcome purely from the trial's
+// deterministic seed: same request, same outcome, in any process, at
+// any wall-clock time. Synthetic campaigns exist to test the campaign
+// machinery itself — crash/resume equivalence in particular. The CI
+// crash-recovery smoke SIGKILLs a synthetic campaign at a random
+// dispatch, resumes it, and diffs the rendered tables byte-for-byte
+// against an uncrashed control: only deterministic outcomes (including
+// the Elapsed fields that become the tables' MTTE column) make
+// "byte-identical" a meaningful assertion.
+func SyntheticOutcome(req WorkerRequest) harness.TrialOutcome {
+	u := uint64(req.Seed)
+	st := appkit.OK
+	detail := ""
+	if u%3 == 0 {
+		st = appkit.Stall
+		detail = "synthetic stall"
+	}
+	return harness.TrialOutcome{
+		Result: appkit.Result{
+			Status: st, Detail: detail, BPHit: st != appkit.OK,
+			Elapsed: time.Duration(u%1000) * time.Microsecond,
+		},
+		BPWait: time.Duration(u % 500),
+	}
+}
+
+// SyntheticExecutor returns an in-process Executor producing
+// SyntheticOutcome for every request. It honours crash chaos (so the
+// supervisor's failure paths stay exercised) and never blocks.
+func SyntheticExecutor() Executor {
+	return func(ctx context.Context, req WorkerRequest) (harness.TrialOutcome, error) {
+		if req.Chaos == ChaosCrash {
+			return harness.TrialOutcome{}, fmt.Errorf("worker %s: injected crash", req.Key)
+		}
+		return SyntheticOutcome(req), nil
+	}
+}
+
+// killSelf terminates this process immediately and without cleanup —
+// SIGKILL on Unix — modelling an operator `kill -9`, an OOM kill, or a
+// power cut for the crash-recovery harness. It does not return.
+func killSelf() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+		// Kill is asynchronous on some platforms; never execute past it.
+		select {}
+	}
+	os.Exit(137)
+}

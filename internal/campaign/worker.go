@@ -83,6 +83,13 @@ func SubprocessExecutor(bin string, args ...string) Executor {
 		cmd.Stdin = bytes.NewReader(reqJSON)
 		var stdout, stderr bytes.Buffer
 		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		// Reap the whole worker tree, always: the worker runs in its own
+		// process group and the deadline kill targets the group, so
+		// grandchildren die with it; on Linux the parent-death signal
+		// additionally reaps workers whose supervisor was SIGKILLed and
+		// never ran this cancel at all (see procattr_linux.go).
+		cmd.SysProcAttr = workerSysProcAttr()
+		cmd.Cancel = func() error { return killWorkerTree(cmd) }
 		cmd.Env = os.Environ()
 		if req.Chaos != "" {
 			cmd.Env = append(cmd.Env, ChaosEnv+"="+req.Chaos)

@@ -1,0 +1,51 @@
+package core
+
+import "cbreak/internal/guard"
+
+// DurableSink receives a copy of every engine event and guard incident
+// as it is recorded, so a crashed process leaves a post-mortem trail on
+// disk instead of losing the in-memory rings with the heap. The
+// canonical implementation is internal/journal/sink, which frames each
+// entry as JSON in a crash-safe write-ahead journal.
+//
+// Sinks are called synchronously on the hot path (the goroutine hitting
+// the breakpoint), so they must be fast and must never call back into
+// the engine. A journal sink should use SyncInterval or SyncNone unless
+// per-event durability is genuinely worth an fsync per breakpoint
+// arrival. Sink errors are the sink's own problem: the engine ignores
+// them, because breakpoint semantics must not change when a disk fills.
+type DurableSink interface {
+	RecordEvent(Event)
+	RecordIncident(guard.Incident)
+}
+
+// durableBox wraps the sink for atomic storage on the engine.
+type durableBox struct {
+	s DurableSink
+}
+
+// SetDurableSink installs (or, with nil, removes) the engine's durable
+// event/incident sink. Safe to call concurrently with trigger traffic;
+// events recorded while the swap is in flight may go to either sink.
+func (e *Engine) SetDurableSink(s DurableSink) {
+	if s == nil {
+		e.durable.Store(nil)
+		return
+	}
+	e.durable.Store(&durableBox{s: s})
+}
+
+// DurableSinkInstalled reports whether a durable sink is attached.
+func (e *Engine) DurableSinkInstalled() bool { return e.durable.Load() != nil }
+
+func (e *Engine) durableEvent(ev Event) {
+	if b := e.durable.Load(); b != nil {
+		b.s.RecordEvent(ev)
+	}
+}
+
+func (e *Engine) durableIncident(in guard.Incident) {
+	if b := e.durable.Load(); b != nil {
+		b.s.RecordIncident(in)
+	}
+}

@@ -43,6 +43,7 @@ type Engine struct {
 	seq      atomic.Uint64 // arrival sequence, for deterministic matching order
 	eventSeq atomic.Uint64 // global event sequence; orders the merged Events() view
 	onHit    atomic.Pointer[onHitBox]
+	durable  atomic.Pointer[durableBox] // opt-in on-disk event/incident tee (durable.go)
 
 	// postponedTotal counts currently-postponed goroutines across all
 	// shards (two-way and multi-way). Maintained at the shard append /

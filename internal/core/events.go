@@ -154,6 +154,8 @@ func (e *Engine) Events() []Event {
 // unconditionally; the engine is only active when breakpoints are
 // enabled).
 func (e *Engine) logEvent(s *bpState, kind EventKind, gid uint64, first bool) {
-	s.events.add(Event{Seq: e.eventSeq.Add(1), When: time.Now(),
-		Kind: kind, Breakpoint: s.name, GID: gid, First: first})
+	ev := Event{Seq: e.eventSeq.Add(1), When: time.Now(),
+		Kind: kind, Breakpoint: s.name, GID: gid, First: first}
+	s.events.add(ev)
+	e.durableEvent(ev)
 }

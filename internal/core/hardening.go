@@ -76,7 +76,9 @@ func (e *Engine) IncidentCounts() map[string]int64 {
 }
 
 func (e *Engine) recordIncident(k guard.IncidentKind, name string, gid uint64, detail string) {
-	e.incidents.Record(guard.Incident{Kind: k, Breakpoint: name, GID: gid, Detail: detail})
+	in := guard.Incident{When: time.Now(), Kind: k, Breakpoint: name, GID: gid, Detail: detail}
+	e.incidents.Record(in)
+	e.durableIncident(in)
 }
 
 // RecordIncident appends an incident to the engine's log on behalf of

@@ -4,12 +4,46 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 	"time"
 
 	"cbreak/internal/apps/appkit"
 	"cbreak/internal/core"
 	"cbreak/internal/waitgraph"
 )
+
+// engineObserver holds the optional per-trial engine hook (see
+// SetTrialEngineObserver).
+var engineObserver atomic.Pointer[func(e *core.Engine, spec TrialSpec)]
+
+// SetTrialEngineObserver installs a process-wide hook invoked with
+// every freshly created trial engine before the trial body runs, or
+// removes it with nil. Trials create their engines internally (one
+// fresh engine per trial, so no state leaks between trials); the
+// observer is how cross-cutting instrumentation — notably a durable
+// event/incident sink (core.Engine.SetDurableSink with a
+// journal/sink.Sink) — reaches them. Safe to swap concurrently with
+// running trials; each trial sees the hook installed at its start.
+func SetTrialEngineObserver(f func(e *core.Engine, spec TrialSpec)) {
+	if f == nil {
+		engineObserver.Store(nil)
+		return
+	}
+	engineObserver.Store(&f)
+}
+
+// trialEngine builds the fresh engine for one trial and runs the
+// observer hook on it.
+func trialEngine(spec TrialSpec) *core.Engine {
+	e := core.NewEngine()
+	if !spec.Breakpoint {
+		e.SetEnabled(false)
+	}
+	if f := engineObserver.Load(); f != nil {
+		(*f)(e, spec)
+	}
+	return e
+}
 
 // TrialKey is the stable address of one measurement configuration: a
 // table, a row index within that table's spec list, and a variant
@@ -119,10 +153,7 @@ func confirmedStall(sup *waitgraph.Supervisor, elapsed time.Duration) appkit.Res
 // while the calling goroutine stays free to classify a confirmed
 // deadlock early instead of blocking forever on the wedged trial.
 func RunTrial(spec TrialSpec) TrialOutcome {
-	e := core.NewEngine()
-	if !spec.Breakpoint {
-		e.SetEnabled(false)
-	}
+	e := trialEngine(spec)
 	sup := trialSupervisor(e)
 	defer sup.Stop()
 	start := time.Now()
@@ -146,10 +177,7 @@ func RunTrial(spec TrialSpec) TrialOutcome {
 // wait-graph deadlock confirmation short-circuits the same way, but as
 // an application Stall carrying the cycle diagnosis.
 func RunTrialCtx(ctx context.Context, deadline time.Duration, spec TrialSpec) TrialOutcome {
-	e := core.NewEngine()
-	if !spec.Breakpoint {
-		e.SetEnabled(false)
-	}
+	e := trialEngine(spec)
 	sup := trialSupervisor(e)
 	defer sup.Stop()
 	start := time.Now()

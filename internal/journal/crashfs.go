@@ -1,0 +1,87 @@
+package journal
+
+import "cbreak/internal/guard/faultinject"
+
+// CrashFS wraps an FS so that every durability operation is a
+// faultinject sync point: the plan's k-th point fails with
+// faultinject.ErrCrashed (a write optionally lands only a prefix of its
+// buffer first — a torn write), and every later operation fails too.
+// Bytes that reached the underlying FS before the crash are exactly the
+// bytes a real power cut would have left on disk, so a test can reopen
+// the directory afterwards and assert recovery.
+func CrashFS(base FS, plan *faultinject.CrashPlan) FS {
+	return crashFS{base: base, plan: plan}
+}
+
+type crashFS struct {
+	base FS
+	plan *faultinject.CrashPlan
+}
+
+func (c crashFS) Create(path string) (File, error) {
+	if _, err := c.plan.Point("create", 0); err != nil {
+		return nil, err
+	}
+	f, err := c.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return crashFile{f: f, plan: c.plan}, nil
+}
+
+func (c crashFS) OpenAppend(path string) (File, error) {
+	if _, err := c.plan.Point("open", 0); err != nil {
+		return nil, err
+	}
+	f, err := c.base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return crashFile{f: f, plan: c.plan}, nil
+}
+
+func (c crashFS) Rename(oldpath, newpath string) error {
+	if _, err := c.plan.Point("rename", 0); err != nil {
+		return err
+	}
+	return c.base.Rename(oldpath, newpath)
+}
+
+func (c crashFS) SyncDir(dir string) error {
+	if _, err := c.plan.Point("syncdir", 0); err != nil {
+		return err
+	}
+	return c.base.SyncDir(dir)
+}
+
+type crashFile struct {
+	f    File
+	plan *faultinject.CrashPlan
+}
+
+// Write lands the allowed prefix before reporting the crash, so the
+// on-disk state models a torn write rather than an all-or-nothing one.
+func (c crashFile) Write(p []byte) (int, error) {
+	allow, err := c.plan.Point("write", len(p))
+	if allow > 0 {
+		if n, werr := c.f.Write(p[:allow]); werr != nil {
+			return n, werr
+		}
+	}
+	if err != nil {
+		return allow, err
+	}
+	return allow, nil
+}
+
+func (c crashFile) Sync() error {
+	if _, err := c.plan.Point("sync", 0); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+// Close is not a sync point: closing makes no durability promise, and a
+// dead process's descriptors close anyway. The underlying file still
+// closes so tests don't leak descriptors.
+func (c crashFile) Close() error { return c.f.Close() }

@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the journal's durability surface: every operation whose
+// ordering matters for crash safety goes through it. Production
+// journals use the real filesystem (osFS); the crash harness wraps it
+// (CrashFS) to kill the process model at any individual write, fsync,
+// or rename, which is how the kill-anywhere recovery tests drive the
+// journal through every instant a SIGKILL could strike.
+//
+// Read-side operations (recovery scans, Replay) deliberately bypass FS
+// and use the os package directly: recovery runs in the *next* process,
+// after the crash, so injecting faults into it would model a different
+// failure than the one this harness is for.
+type FS interface {
+	// Create creates (truncating) the file at path for appending.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// SyncDir fsyncs the directory, making renames and creations in it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle the journal appends through.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// osFS is the production FS: the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production filesystem implementation.
+func OSFS() FS { return osFS{} }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

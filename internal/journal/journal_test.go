@@ -1,0 +1,341 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collect replays dir into a slice of payloads.
+func collect(t *testing.T, dir string) ([][]byte, RecoveryInfo) {
+	t.Helper()
+	var got [][]byte
+	info, err := Replay(dir, func(lsn uint64, p []byte) error {
+		if lsn != uint64(len(got)+1) {
+			t.Fatalf("lsn %d out of order (have %d records)", lsn, len(got))
+		}
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, info
+}
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf(`{"record":%d,"pad":%q}`, i, strings.Repeat("x", i%37)))
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(50)
+	for i, p := range want {
+		lsn, err := j.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	if j.Len() != 50 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info := collect(t, dir)
+	if len(got) != 50 || info.Records != 50 || info.TruncatedBytes != 0 {
+		t.Fatalf("replay: %d records, info %+v", len(got), info)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReopenContinuesAppending(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	want := payloads(30)
+	for round := 0; round < 3; round++ {
+		j, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if j.Len() != uint64(10*round) {
+			t.Fatalf("round %d: Len = %d", round, j.Len())
+		}
+		for i := 10 * round; i < 10*(round+1); i++ {
+			if _, err := j.Append(want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := collect(t, dir)
+	if len(got) != 30 {
+		t.Fatalf("got %d records", len(got))
+	}
+	// Open/close cycles must not proliferate segments: everything fits
+	// in the default segment size, so one file.
+	seqs, err := listSegments(dir)
+	if err != nil || len(seqs) != 1 {
+		t.Fatalf("segments = %v err=%v, want exactly 1", seqs, err)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestRotationSealsSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(40)
+	for _, p := range want {
+		if _, err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 3 {
+		t.Fatalf("only %d segments; rotation never fired", len(seqs))
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sealed) != len(seqs)-1 {
+		t.Fatalf("%d sealed of %d segments; every non-tail segment must be sealed", len(m.Sealed), len(seqs))
+	}
+	got, info := collect(t, dir)
+	if len(got) != 40 || info.Segments != len(seqs) {
+		t.Fatalf("replay: %d records across %d segments", len(got), info.Segments)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch after rotation", i)
+		}
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(5)
+	for _, p := range want {
+		if _, err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append half a frame by hand.
+	path := segPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 100) // promises 100 bytes that never arrive
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j, err = Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := j.Recovery()
+	if rec.Records != 5 || rec.TruncatedBytes != 8 || rec.TornSegment != segName(1) {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	// The journal is whole again: appends land after the truncation.
+	if _, err := j.Append([]byte("after-crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info := collect(t, dir)
+	if len(got) != 6 || info.TruncatedBytes != 0 {
+		t.Fatalf("post-repair replay: %d records, info %+v", len(got), info)
+	}
+	if string(got[5]) != "after-crash" {
+		t.Fatalf("last record = %q", got[5])
+	}
+}
+
+func TestCorruptSealedSegmentRefusedNotTruncated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(Options{Dir: dir, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads(20) {
+		if _, err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the FIRST (sealed) segment.
+	path := segPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a corrupt sealed segment")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error does not name corruption: %v", err)
+	}
+	if _, err := Replay(dir, func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("Replay surfaced records from a corrupt sealed segment")
+	}
+}
+
+func TestZeroLengthTailTreatedAsTorn(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Model a filesystem that extended the file with zero blocks after
+	// a crash: a zero length field must not decode as an empty record.
+	path := segPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	j, err = Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if rec := j.Recovery(); rec.Records != 1 || rec.TruncatedBytes != 512 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncEachRecord, SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "j")
+			j, err := Open(Options{Dir: dir, Sync: pol, Interval: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range payloads(10) {
+				if _, err := j.Append(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if pol == SyncInterval {
+				time.Sleep(25 * time.Millisecond) // let at least one group commit fire
+			}
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := collect(t, dir); len(got) != 10 {
+				t.Fatalf("%d records under %s", len(got), pol)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncEachRecord, SyncInterval, SyncNone} {
+		got, err := ParseSyncPolicy(pol.String())
+		if err != nil || got != pol {
+			t.Fatalf("round-trip %v: got %v err %v", pol, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("everysooften"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestAppendAfterCloseAndEmptyRecordRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestSegNameRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{1, 99, 100000000} {
+		got, ok := parseSegName(segName(seq))
+		if !ok || got != seq {
+			t.Fatalf("round-trip %d: %d %v", seq, got, ok)
+		}
+	}
+	for _, bad := range []string{"seg-.wal", "seg-12x4.wal", "MANIFEST", "x-00000001.wal"} {
+		if _, ok := parseSegName(bad); ok {
+			t.Fatalf("parsed %q", bad)
+		}
+	}
+}

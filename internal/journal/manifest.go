@@ -1,0 +1,106 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The manifest records which segments are sealed: fully written,
+// fsynced, and immutable. It is replaced — never appended to — via the
+// classic atomic-rename protocol (write MANIFEST.tmp, fsync it, rename
+// over MANIFEST, fsync the directory), so a crash at any instant leaves
+// either the old manifest or the new one, both self-consistent.
+//
+// Sealing order matters: a segment is sealed in the manifest *before*
+// its successor is created, and the directory is fsynced between, so
+// recovery can rely on "any segment with a successor is sealed". The
+// manifest's record counts and byte sizes let recovery distinguish a
+// torn tail (damage past the sealed range, truncated silently) from
+// real corruption (damage inside it, which fails Open).
+
+// manifestVersion is bumped on incompatible manifest-schema changes.
+const manifestVersion = 1
+
+// sealedSegment is one sealed segment's manifest entry.
+type sealedSegment struct {
+	Seq     uint64 `json:"seq"`
+	Records uint64 `json:"records"`
+	Bytes   int64  `json:"bytes"`
+}
+
+type manifest struct {
+	Kind    string          `json:"kind"` // always "cbwal-manifest"
+	Version int             `json:"version"`
+	Sealed  []sealedSegment `json:"sealed"`
+}
+
+// ErrCorrupt is wrapped by every error that means the journal's sealed
+// region is damaged (as opposed to a recoverable torn tail).
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// writeManifest atomically replaces dir's manifest through fs, so the
+// crash harness can kill the process model inside any step.
+func writeManifest(fs FS, dir string, m manifest) error {
+	m.Kind = "cbwal-manifest"
+	m.Version = manifestVersion
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestTmp)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: write manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close manifest: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("journal: install manifest: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads dir's manifest. A missing manifest is an empty one
+// (fresh journal, or a crash before the first rotation); an unreadable
+// or mismatched one is corruption, because the atomic-rename protocol
+// never exposes a partially written manifest.
+func readManifest(dir string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, nil
+	}
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("%w: unreadable manifest: %v", ErrCorrupt, err)
+	}
+	if m.Kind != "cbwal-manifest" {
+		return manifest{}, fmt.Errorf("%w: %s is not a journal manifest", ErrCorrupt, dir)
+	}
+	if m.Version != manifestVersion {
+		return manifest{}, fmt.Errorf("journal: manifest version %d, this binary speaks %d", m.Version, manifestVersion)
+	}
+	for i := 1; i < len(m.Sealed); i++ {
+		if m.Sealed[i].Seq <= m.Sealed[i-1].Seq {
+			return manifest{}, fmt.Errorf("%w: manifest seals out of order", ErrCorrupt)
+		}
+	}
+	return m, nil
+}

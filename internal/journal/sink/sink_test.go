@@ -1,0 +1,101 @@
+package sink
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cbreak/internal/core"
+	"cbreak/internal/guard"
+	"cbreak/internal/journal"
+)
+
+// TestEngineTeeRoundTrip drives a real engine with the sink attached:
+// a breakpoint rendezvous plus an external incident must land in the
+// journal and replay typed.
+func TestEngineTeeRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sink")
+	s, err := Open(dir, journal.SyncEachRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := core.NewEngine()
+	e.SetDurableSink(s)
+	if !e.DurableSinkInstalled() {
+		t.Fatal("sink not installed")
+	}
+	obj := new(int)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); e.TriggerHere(core.NewConflictTrigger("sink-bp", obj), true, core.Options{}) }()
+	go func() { defer wg.Done(); e.TriggerHere(core.NewConflictTrigger("sink-bp", obj), false, core.Options{}) }()
+	wg.Wait()
+	e.RecordIncident(guard.KindPanic, "sink-bp", 42, "absorbed: boom")
+	if err := s.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events, incidents, hits int
+	if _, err := Replay(dir, func(en Entry) error {
+		switch {
+		case en.Event != nil:
+			events++
+			if en.Event.Breakpoint != "sink-bp" {
+				t.Fatalf("event breakpoint = %q", en.Event.Breakpoint)
+			}
+			if en.Event.Event == "hit" {
+				hits++
+			}
+		case en.Incident != nil:
+			incidents++
+			if en.Incident.Incident != "panic" || en.Incident.GID != 42 || en.Incident.Detail != "absorbed: boom" {
+				t.Fatalf("incident = %+v", *en.Incident)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A rendezvous logs both arrivals, the postponement, and the hit.
+	if events < 4 || hits < 1 {
+		t.Fatalf("replayed %d events (%d hits)", events, hits)
+	}
+	if incidents != 1 {
+		t.Fatalf("replayed %d incidents, want 1", incidents)
+	}
+}
+
+// TestSinkDetached pins that removing the sink stops the tee without
+// touching engine behavior.
+func TestSinkDetached(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sink")
+	s, err := Open(dir, journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine()
+	e.SetDurableSink(s)
+	e.RecordIncident(guard.KindStall, "bp", 1, "one")
+	e.SetDurableSink(nil)
+	if e.DurableSinkInstalled() {
+		t.Fatal("sink still installed after nil")
+	}
+	e.RecordIncident(guard.KindStall, "bp", 2, "two")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var n uint64
+	if _, err := Replay(dir, func(Entry) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("journal holds %d records after detach, want 1", n)
+	}
+	if got := e.IncidentCount(guard.KindStall); got != 2 {
+		t.Fatalf("engine incident count = %d, want 2 (detach must not drop in-memory log)", got)
+	}
+}
