@@ -326,6 +326,9 @@ const (
 	KindCycleBreak        = guard.KindCycleBreak
 	KindDeadlockConfirmed = guard.KindDeadlockConfirmed
 	KindOverloadShed      = guard.KindOverloadShed
+	// Network chaos incidents (docs/USAGE.md, "Network fault injection
+	// & load testing").
+	KindNetFault = guard.KindNetFault
 )
 
 // Breaker states and fault-plan sides.

@@ -49,7 +49,7 @@ import (
 const durableEventsEnv = "CB_DURABLE_EVENTS"
 
 func main() {
-	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, log4j, pause, precision, model, all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, log4j, pause, precision, model, netload, all")
 	runs := flag.Int("runs", 10, "runs per configuration (the paper used 100)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	seed := flag.Int64("seed", 1, "campaign seed: derives each trial's workload jitter and the retry backoff, so runs reproduce run-to-run")
@@ -169,6 +169,8 @@ func main() {
 		fmt.Print(render(harness.PrecisionAblationWith(*runs, run)))
 	case "model":
 		fmt.Print(render(harness.ModelTableWith(20000, *runs, run)))
+	case "netload":
+		fmt.Print(render(harness.NetLoadTableWith(*runs, run)))
 	case "all":
 		fmt.Print(render(harness.Table1With(*runs, run)))
 		fmt.Println()

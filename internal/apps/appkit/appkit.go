@@ -188,14 +188,89 @@ func init() { jitterState.Store(uint64(time.Now().UnixNano()) | 1) }
 // campaign worker call this with the per-trial seed derived from the
 // campaign -seed, making trial workloads reproducible; unseeded
 // processes start from wall-clock entropy.
-func SeedJitter(seed int64) { jitterState.Store(uint64(seed)*2654435761 + 0x9e3779b97f4a7c15) }
+func SeedJitter(seed int64) { jitterState.Store(streamOrigin(seed)) }
 
-// jitterNext advances the splitmix64 stream one step.
-func jitterNext() uint64 {
-	z := jitterState.Add(0x9e3779b97f4a7c15)
+// streamOrigin maps a seed to the splitmix64 start state shared by the
+// global jitter stream and every derived Stream, so "seeded from the
+// appkit stream" means the same thing everywhere.
+func streamOrigin(seed int64) uint64 { return uint64(seed)*2654435761 + 0x9e3779b97f4a7c15 }
+
+// mix64 is the splitmix64 output function.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// jitterNext advances the splitmix64 stream one step.
+func jitterNext() uint64 {
+	return mix64(jitterState.Add(0x9e3779b97f4a7c15))
+}
+
+// JitterSeed draws one value from the shared jitter stream for seeding
+// derived deterministic components (a chaos proxy's fault schedule, a
+// load client's retry jitter), so everything a trial does descends from
+// the single per-trial seed.
+func JitterSeed() int64 { return int64(jitterNext()) }
+
+// Stream is an independent, deterministic splitmix64 stream derived
+// from an explicit seed. Unlike the process-global jitter stream it is
+// not perturbed by unrelated goroutines, so two Streams built from the
+// same seed produce identical sequences no matter what else the process
+// is doing — the property the chaos layer's replayable fault schedules
+// and the campaign's replayable retry backoff are built on. Draws are
+// atomic, so one Stream may be shared across goroutines (the sequence
+// as a whole stays deterministic; the per-goroutine interleaving does
+// not, which is fine for jitter).
+type Stream struct {
+	state atomic.Uint64
+}
+
+// NewStream returns a deterministic stream for the seed.
+func NewStream(seed int64) *Stream {
+	s := &Stream{}
+	s.state.Store(streamOrigin(seed))
+	return s
+}
+
+// DeriveSeed maps (seed, ord) to the deterministic sub-seed for the
+// ord-th component of a seeded system: pure in both arguments, so
+// schedules indexed by an ordinal (the chaos proxy's per-connection
+// plans, the load generator's per-client retry jitter) can be recomputed
+// independently and in any order.
+func DeriveSeed(seed int64, ord int64) int64 {
+	return seed ^ int64(mix64(uint64(ord)+0x9e3779b97f4a7c15))
+}
+
+// DeriveStream returns the deterministic sub-stream for (seed, ord).
+func DeriveStream(seed int64, ord int64) *Stream {
+	return NewStream(DeriveSeed(seed, ord))
+}
+
+// Next advances the stream one step and returns the draw.
+func (s *Stream) Next() uint64 {
+	return mix64(s.state.Add(0x9e3779b97f4a7c15))
+}
+
+// Intn returns a draw in [0, n) (0 when n <= 0).
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Float64 returns a draw in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Duration returns a draw in [0, scale) (zero when scale <= 0).
+func (s *Stream) Duration(scale time.Duration) time.Duration {
+	if scale <= 0 {
+		return 0
+	}
+	return time.Duration(s.Next() % uint64(scale))
 }
 
 // JitterDuration returns a pseudo-random duration in [0, scale) from the

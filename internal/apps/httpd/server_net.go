@@ -1,0 +1,148 @@
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/guard"
+)
+
+// This file promotes the httpd reproduction from an in-process driver
+// to a real socket server: a net.Listener accept loop (via the appkit
+// socket kit) with per-connection deadlines, graceful drain, and
+// accept-loop shedding wired to the engine's OverloadConfig high-water
+// marks. The worker identity that the log-corruption breakpoint
+// choreographs comes from the connection ordinal, so two concurrent
+// network clients race the same way the two in-process workers did.
+//
+// Protocol (one line per request):
+//
+//	GET <path> [big]  → 200 id=<n> OK            (serve a request)
+//	RELOAD <size>     → 200 reloaded <size>       (config reload)
+//	anything else     → 400 parse error
+//
+// Overloaded accepts answer "503 shed <reason>" and close.
+
+// NetServer is the httpd reproduction listening on a real socket.
+type NetServer struct {
+	kit   *appkit.SocketServer
+	srv   *Server
+	cfg   *Config
+	reqID atomic.Int64
+}
+
+// NetConfig parameterizes StartNet beyond the run Config.
+type NetConfig struct {
+	// ConnTimeout bounds each connection read/write (default 30s).
+	ConnTimeout time.Duration
+	// DrainTimeout bounds graceful drain on Close (default 5s).
+	DrainTimeout time.Duration
+}
+
+// StartNet starts the server on a loopback listener. The engine's
+// OverloadConfig (when installed) doubles as the accept loop's shedding
+// policy: at or above the global high-water mark new connections are
+// answered "503 shed" and dropped, and each shed is recorded as an
+// overload-shed guard incident.
+func StartNet(cfg Config, ncfg NetConfig) (*NetServer, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("httpd: StartNet requires Config.Engine")
+	}
+	cfg.resolveHandles()
+	ns := &NetServer{cfg: &cfg}
+	ns.srv = NewServer(ns.cfg)
+	kit, err := appkit.StartSocketServer(appkit.SocketServerConfig{
+		Handler:      ns.handle,
+		Shed:         engineShed(ns.cfg),
+		OnShed:       func(reason string) { cfg.Engine.RecordIncident(guard.KindOverloadShed, "httpd.accept", 0, reason) },
+		ShedResponse: "503 shed",
+		ConnTimeout:  ncfg.ConnTimeout,
+		DrainTimeout: ncfg.DrainTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns.kit = kit
+	return ns, nil
+}
+
+// engineShed builds the accept-loop shedding policy from the engine's
+// installed overload bounds: shed while the postponed population sits
+// at or above the global high-water mark.
+func engineShed(cfg *Config) func() (string, bool) {
+	e := cfg.Engine
+	return func() (string, bool) {
+		ov, ok := e.Overload()
+		if !ok || ov.GlobalHighWater <= 0 {
+			return "", false
+		}
+		if pop := e.PostponedTotal(); pop >= int64(ov.GlobalHighWater) {
+			return fmt.Sprintf("accept shed: postponed population %d at high water %d", pop, ov.GlobalHighWater), true
+		}
+		return "", false
+	}
+}
+
+// Addr returns the server's listen address.
+func (ns *NetServer) Addr() string { return ns.kit.Addr() }
+
+// Server returns the underlying httpd reproduction (log inspection).
+func (ns *NetServer) Server() *Server { return ns.srv }
+
+// LogLines reports how many access-log lines are intact plus the raw
+// buffer — the corruption check, exported for socket-mode harness rows.
+func (ns *NetServer) LogLines() (intact int, raw string) { return ns.srv.log.Lines() }
+
+// HandledCount returns the server-side served-requests counter (the
+// denominator of the corruption check).
+func (ns *NetServer) HandledCount() int64 { return ns.srv.served.Load("httpd:net.check") }
+
+// ShedCount returns how many connections the accept loop shed.
+func (ns *NetServer) ShedCount() int64 { return ns.kit.ShedCount() }
+
+// Served returns how many request lines were answered.
+func (ns *NetServer) Served() int64 { return ns.kit.Served() }
+
+// Close drains the server gracefully.
+func (ns *NetServer) Close() error { return ns.kit.Close() }
+
+// handle serves one request line. The connection ordinal's parity is
+// the worker identity the breakpoints align, so any two concurrent
+// connections of opposite parity can reproduce the two-worker races.
+func (ns *NetServer) handle(conn, _ int, line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "400 parse error"
+	}
+	worker := conn % 2
+	switch strings.ToUpper(fields[0]) {
+	case "GET":
+		if len(fields) < 2 {
+			return "400 parse error"
+		}
+		req := Request{
+			ID:   int(ns.reqID.Add(1)),
+			Path: fields[1],
+			Big:  len(fields) > 2 && strings.EqualFold(fields[2], "big"),
+		}
+		if err := ns.srv.Handle(req, worker); err != nil {
+			return "500 " + err.Error()
+		}
+		return fmt.Sprintf("200 id=%d OK", req.ID)
+	case "RELOAD":
+		size := 1 << 10
+		if len(fields) > 1 {
+			if n, err := strconv.Atoi(fields[1]); err == nil && n > 0 {
+				size = n
+			}
+		}
+		ns.srv.Reload(size)
+		return fmt.Sprintf("200 reloaded %d", size)
+	default:
+		return "400 parse error"
+	}
+}

@@ -1,0 +1,61 @@
+package httpd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"cbreak/internal/core"
+)
+
+func netRoundTrip(t *testing.T, addr, line string) string {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return strings.TrimRight(resp, "\n")
+}
+
+func TestNetServerProtocol(t *testing.T) {
+	e := core.NewEngine()
+	ns, err := StartNet(Config{Engine: e, Bug: LogCorruption, Breakpoint: false, Timeout: time.Millisecond}, NetConfig{})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer ns.Close()
+
+	if resp := netRoundTrip(t, ns.Addr(), "GET /index"); !strings.HasPrefix(resp, "200 id=") {
+		t.Fatalf("GET = %q, want 200", resp)
+	}
+	if resp := netRoundTrip(t, ns.Addr(), "RELOAD 2048"); resp != "200 reloaded 2048" {
+		t.Fatalf("RELOAD = %q", resp)
+	}
+	if resp := netRoundTrip(t, ns.Addr(), "BOGUS"); resp != "400 parse error" {
+		t.Fatalf("bogus = %q, want 400", resp)
+	}
+	if ns.HandledCount() == 0 {
+		t.Fatalf("served counter never advanced")
+	}
+	if intact, _ := ns.LogLines(); intact == 0 {
+		t.Fatalf("no intact log lines after clean GETs")
+	}
+}
+
+func TestNetServerRequiresEngine(t *testing.T) {
+	if _, err := StartNet(Config{}, NetConfig{}); err == nil {
+		t.Fatalf("StartNet accepted a nil engine")
+	}
+}

@@ -1,0 +1,62 @@
+package mysql
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"cbreak/internal/core"
+)
+
+func netExec(t *testing.T, addr, stmt string) string {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", stmt); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return strings.TrimRight(resp, "\n")
+}
+
+func TestNetServerStatements(t *testing.T) {
+	e := core.NewEngine()
+	ns, err := StartNet(Config{Engine: e, Bug: Deadlock, Breakpoint: false, Timeout: time.Millisecond},
+		NetConfig{Tables: []string{"t1"}})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer ns.Close()
+
+	if resp := netExec(t, ns.Addr(), "INSERT INTO t1 VALUES ('a')"); resp != "ok 1" {
+		t.Fatalf("INSERT = %q", resp)
+	}
+	if resp := netExec(t, ns.Addr(), "SELECT COUNT(*) FROM t1"); resp != "ok 1" {
+		t.Fatalf("SELECT = %q", resp)
+	}
+	if resp := netExec(t, ns.Addr(), "FLUSH LOGS"); !strings.HasPrefix(resp, "ok ") {
+		t.Fatalf("FLUSH = %q", resp)
+	}
+	if resp := netExec(t, ns.Addr(), "GARBAGE"); !strings.HasPrefix(resp, "err ") {
+		t.Fatalf("garbage = %q, want err", resp)
+	}
+	if ns.Served() == 0 {
+		t.Fatalf("served counter never advanced")
+	}
+}
+
+func TestNetServerRequiresEngine(t *testing.T) {
+	if _, err := StartNet(Config{}, NetConfig{}); err == nil {
+		t.Fatalf("StartNet accepted a nil engine")
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -325,14 +324,15 @@ func (s *Supervisor) nextDispatch() int {
 
 // backoff returns the jittered exponential delay for the given retry
 // attempt (0-based): base<<attempt capped at MaxBackoff, jittered to
-// [d/2, d] by a deterministic per-(trial, attempt) RNG so reruns of a
-// campaign back off identically.
+// [d/2, d] by the appkit stream derived from (trial seed, attempt).
+// The same splitmix64 stream that seeds trial workloads seeds the
+// retry timing, so a -resume of a seeded campaign replays identical
+// backoff delays — pure in (seed, attempt), no process-global RNG.
 func (s *Supervisor) backoff(trialSeed int64, attempt int) time.Duration {
 	d := s.cfg.Backoff << uint(attempt)
 	if d <= 0 || d > s.cfg.MaxBackoff {
 		d = s.cfg.MaxBackoff
 	}
-	rng := rand.New(rand.NewSource(trialSeed + int64(attempt)))
-	half := int64(d) / 2
-	return time.Duration(half + rng.Int63n(half+1))
+	half := d / 2
+	return half + appkit.DeriveStream(trialSeed, int64(attempt)).Duration(half+1)
 }

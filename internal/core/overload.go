@@ -70,6 +70,19 @@ func (e *Engine) SetOverloadConfig(cfg *OverloadConfig) {
 // goroutines (two-way and multi-way, all breakpoints).
 func (e *Engine) PostponedTotal() int64 { return e.postponedTotal.Load() }
 
+// Overload returns a copy of the engine's installed overload bounds;
+// ok is false when overload protection is disabled. External layers
+// that degrade alongside the engine — notably the socket servers'
+// accept-loop shedding — read the same water marks from here instead
+// of duplicating the configuration.
+func (e *Engine) Overload() (OverloadConfig, bool) {
+	cfg := e.overloadCfg.Load()
+	if cfg == nil {
+		return OverloadConfig{}, false
+	}
+	return *cfg, true
+}
+
 // overloadFor returns the shard's cached overload config under the
 // engine's current epoch, or nil when overload protection is disabled.
 // Same lazy-rebuild scheme as breakerFor.

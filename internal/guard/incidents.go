@@ -40,9 +40,16 @@ const (
 	// because the engine's postponed population exceeded its
 	// configured overload bounds.
 	KindOverloadShed
+	// KindNetFault: an injected network fault (chaos-proxy latency,
+	// reset, truncation, half-open drop, partition, throttle, or
+	// slow-loris trickle) was recorded against this run's transport.
+	// These are infrastructure noise by construction — the blame
+	// localization that keeps them from being mistaken for application
+	// bugs depends on the kind being distinct.
+	KindNetFault
 )
 
-const incidentKindCount = int(KindOverloadShed) + 1
+const incidentKindCount = int(KindNetFault) + 1
 
 // Kinds returns every incident kind, in declaration order, for
 // consumers that aggregate counts across all kinds (campaign trial
@@ -76,6 +83,8 @@ func (k IncidentKind) String() string {
 		return "deadlock-confirmed"
 	case KindOverloadShed:
 		return "overload-shed"
+	case KindNetFault:
+		return "net-fault-injected"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cbreak/internal/apps/appkit"
+)
+
+// TestNetLoadMySQLDeadlockClassifiedAsAppBug is the chaos layer's
+// acceptance check: with the proxy injecting latency, resets, and a
+// mid-run partition, the FLUSH-vs-DML deadlock behind real sockets must
+// still classify as an application stall — never as a trial timeout or
+// a worker crash, which are infrastructure verdicts.
+func TestNetLoadMySQLDeadlockClassifiedAsAppBug(t *testing.T) {
+	appkit.SeedJitter(7)
+	spec := netloadSpecs(1)[1]
+	out := RunTrial(spec)
+	res := out.Result
+	if res.Status != appkit.Stall {
+		t.Fatalf("deadlock trial classified %v (%s); want Stall", res.Status, res.Detail)
+	}
+	if !strings.Contains(res.Detail, "deadlock") && !strings.Contains(res.Detail, "wedged") {
+		t.Fatalf("stall detail %q names neither the confirmed deadlock nor the wedge probe", res.Detail)
+	}
+	if out.Incidents["net-fault-injected"] == 0 {
+		t.Fatalf("no net-fault-injected incidents recorded; chaos was not exercised: %v", out.Incidents)
+	}
+}
+
+// TestNetLoadDegradationStaysOK pins the blame-localization contract
+// from the other side: under the full fault mix with no bug armed,
+// every proxy-induced failure must be absorbed by retries and budgets —
+// the application verdict stays OK.
+func TestNetLoadDegradationStaysOK(t *testing.T) {
+	appkit.SeedJitter(11)
+	spec := netloadSpecs(1)[2]
+	out := RunTrial(spec)
+	if out.Result.Status != appkit.OK {
+		t.Fatalf("degradation trial classified %v (%s); infra faults leaked into the app verdict",
+			out.Result.Status, out.Result.Detail)
+	}
+	if out.Incidents["net-fault-injected"] == 0 {
+		t.Fatalf("no net-fault-injected incidents recorded; the fault mix never fired")
+	}
+}
+
+// TestNetLoadHTTPDCorruptionReproduces drives the log-corruption race
+// over sockets through chaos. The race is probabilistic by design, so
+// the test allows a few seeded attempts before declaring failure.
+func TestNetLoadHTTPDCorruptionReproduces(t *testing.T) {
+	spec := netloadSpecs(1)[0]
+	for attempt, seed := range []int64{7, 11, 13} {
+		appkit.SeedJitter(seed)
+		out := RunTrial(spec)
+		if out.Result.Status == appkit.LogCorrupt && out.Result.BPHit {
+			return
+		}
+		t.Logf("attempt %d (seed %d): %v", attempt, seed, out.Result)
+	}
+	t.Fatalf("log corruption never reproduced over sockets in 3 seeded attempts")
+}

@@ -106,6 +106,8 @@ func TableSpecs(table string, runs int) []TrialSpec {
 		return precisionSpecs(runs)
 	case "model":
 		return modelSpecs(runs)
+	case "netload":
+		return netloadSpecs(runs)
 	}
 	return nil
 }

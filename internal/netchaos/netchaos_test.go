@@ -1,0 +1,353 @@
+package netchaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoUpstream is the reference server the proxy tests forward to: it
+// answers every received line with the same line.
+func echoUpstream(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					if _, err := fmt.Fprintf(conn, "%s\n", sc.Text()); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// roundTrip dials addr, sends one line, and reads one line back.
+func roundTrip(addr, line string, timeout time.Duration) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(resp, "\n"), nil
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	f := Faults{
+		Latency: time.Millisecond, ResetRate: 0.3, TruncateRate: 0.3,
+		HalfOpenRate: 0.2, ThrottleRate: 0.2, SlowLorisRate: 0.2,
+		PartitionAt: 10, PartitionFor: 3,
+	}
+	a := NewSchedule(42, f).Describe(64)
+	b := NewSchedule(42, f).Describe(64)
+	if a != b {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if c := NewSchedule(43, f).Describe(64); c == a {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestPlanPureAndConcurrent(t *testing.T) {
+	s := NewSchedule(7, Faults{ResetRate: 0.5, TruncateRate: 0.5, Latency: time.Millisecond})
+	want := s.PlanFor(3)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := s.PlanFor(3); got != want {
+				t.Errorf("PlanFor(3) = %v, want %v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPlanFieldIndependence pins the fixed draw order: a field's value
+// depends only on (seed, conn, field), never on which other families
+// are enabled.
+func TestPlanFieldIndependence(t *testing.T) {
+	all := Faults{
+		Latency: time.Millisecond, ResetRate: 1, TruncateRate: 1,
+		HalfOpenRate: 1, ThrottleRate: 1, SlowLorisRate: 1,
+	}
+	only := Faults{TruncateRate: 1}
+	for conn := 1; conn <= 32; conn++ {
+		a := NewSchedule(99, all).PlanFor(conn)
+		b := NewSchedule(99, only).PlanFor(conn)
+		if a.TruncateAfter != b.TruncateAfter {
+			t.Fatalf("conn %d: TruncateAfter drifted when other families toggled: %d vs %d",
+				conn, a.TruncateAfter, b.TruncateAfter)
+		}
+	}
+}
+
+func startProxy(t *testing.T, upstream string, f Faults, seed int64) *Proxy {
+	t.Helper()
+	px, err := Start(upstream, Config{Seed: seed, Faults: f})
+	if err != nil {
+		t.Fatalf("proxy start: %v", err)
+	}
+	t.Cleanup(func() { px.Close() })
+	return px
+}
+
+func TestProxyCleanPassThrough(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{}, 1)
+	resp, err := roundTrip(px.Addr(), "hello", 2*time.Second)
+	if err != nil || resp != "hello" {
+		t.Fatalf("roundTrip = %q, %v; want echo", resp, err)
+	}
+	if n := px.TotalFaults(); n != 0 {
+		t.Fatalf("clean proxy injected %d fault(s)", n)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{Latency: 30 * time.Millisecond}, 1)
+	start := time.Now()
+	if _, err := roundTrip(px.Addr(), "ping", 3*time.Second); err != nil {
+		t.Fatalf("roundTrip: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("latency not injected: roundtrip took %s", elapsed)
+	}
+	if px.FaultCount(FaultLatency) == 0 {
+		t.Fatalf("no latency fault recorded")
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{ResetRate: 1}, 1)
+	// 128 payload bytes guarantee the [0, 64) reset offset is crossed.
+	line := strings.Repeat("x", 128)
+	if resp, err := roundTrip(px.Addr(), line, 2*time.Second); err == nil {
+		t.Fatalf("reset connection returned %q; want transport error", resp)
+	}
+	if px.FaultCount(FaultReset) != 1 {
+		t.Fatalf("reset fault count = %d, want 1", px.FaultCount(FaultReset))
+	}
+}
+
+func TestProxyTruncate(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{TruncateRate: 1}, 1)
+	line := strings.Repeat("y", 128)
+	if resp, err := roundTrip(px.Addr(), line, 2*time.Second); err == nil {
+		t.Fatalf("truncated connection returned %q; want transport error", resp)
+	}
+	if px.FaultCount(FaultTruncate) != 1 {
+		t.Fatalf("truncate fault count = %d, want 1", px.FaultCount(FaultTruncate))
+	}
+}
+
+func TestProxyHalfOpen(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{HalfOpenRate: 1}, 1)
+	conn, err := net.DialTimeout("tcp", px.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	line := strings.Repeat("z", 128)
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatalf("half-open connection delivered a response")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("half-open read failed with %v; want timeout (sockets stay open)", err)
+	}
+	if px.FaultCount(FaultHalfOpen) != 1 {
+		t.Fatalf("half-open fault count = %d, want 1", px.FaultCount(FaultHalfOpen))
+	}
+}
+
+func TestProxyThrottle(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{ThrottleRate: 1, ThrottleBps: 256}, 1)
+	start := time.Now()
+	line := strings.Repeat("t", 63)
+	if resp, err := roundTrip(px.Addr(), line, 5*time.Second); err != nil || resp != line {
+		t.Fatalf("roundTrip = %q, %v; want echo", resp, err)
+	}
+	// 64 bytes each way at 256 B/s paces every chunk to ~250ms.
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("throttle not applied: roundtrip took %s", elapsed)
+	}
+	if px.FaultCount(FaultThrottle) == 0 {
+		t.Fatalf("no throttle fault recorded")
+	}
+}
+
+func TestProxySlowLoris(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{SlowLorisRate: 1}, 1)
+	start := time.Now()
+	line := strings.Repeat("s", 32)
+	if resp, err := roundTrip(px.Addr(), line, 5*time.Second); err != nil || resp != line {
+		t.Fatalf("roundTrip = %q, %v; want echo", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("slow-loris not applied: roundtrip took %s", elapsed)
+	}
+	if px.FaultCount(FaultSlowLoris) == 0 {
+		t.Fatalf("no slow-loris fault recorded")
+	}
+}
+
+func TestProxyPartition(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{PartitionAt: 2, PartitionFor: 2}, 1)
+
+	// Ordinal 1 predates the partition and works; keep it open so the
+	// partition has a live connection to drop.
+	pre, err := net.DialTimeout("tcp", px.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer pre.Close()
+	pre.SetDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(pre, "pre\n")
+	if resp, err := bufio.NewReader(pre).ReadString('\n'); err != nil || resp != "pre\n" {
+		t.Fatalf("pre-partition roundtrip = %q, %v", resp, err)
+	}
+
+	// Ordinals 2 and 3 land inside the window and are severed.
+	for ord := 2; ord <= 3; ord++ {
+		if resp, err := roundTrip(px.Addr(), "in-window", time.Second); err == nil {
+			t.Fatalf("ordinal %d inside partition answered %q", ord, resp)
+		}
+	}
+	// The established connection was dropped when the partition began.
+	pre.SetReadDeadline(time.Now().Add(time.Second))
+	fmt.Fprintf(pre, "post\n")
+	if _, err := bufio.NewReader(pre).ReadString('\n'); err == nil {
+		t.Fatalf("pre-partition connection survived the partition")
+	}
+	// Ordinal 4 is past the window: service restored.
+	if resp, err := roundTrip(px.Addr(), "after", 2*time.Second); err != nil || resp != "after" {
+		t.Fatalf("post-partition roundtrip = %q, %v; want restored service", resp, err)
+	}
+	if px.FaultCount(FaultPartition) == 0 {
+		t.Fatalf("no partition fault recorded")
+	}
+}
+
+// TestClientRetriesThroughReset picks a seed whose first connection is
+// reset but whose second is clean, and shows one request surviving via
+// a retry.
+func TestClientRetriesThroughReset(t *testing.T) {
+	f := Faults{ResetRate: 0.5}
+	seed := int64(-1)
+	for s := int64(1); s < 4096; s++ {
+		sched := NewSchedule(s, f)
+		if sched.PlanFor(1).ResetAfter >= 0 && sched.PlanFor(2).ResetAfter < 0 {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatalf("no seed with reset-then-clean plan in range")
+	}
+	px := startProxy(t, echoUpstream(t), f, seed)
+	c := NewClient(ClientConfig{
+		Addr: px.Addr(), Seed: 7, Attempts: 3,
+		AttemptTimeout: time.Second, RequestTimeout: 5 * time.Second,
+		Backoff: time.Millisecond,
+	})
+	line := strings.Repeat("r", 128)
+	resp, err := c.Do(line)
+	if err != nil || resp != line {
+		t.Fatalf("Do = %q, %v; want retried echo", resp, err)
+	}
+	st := c.Stats()
+	if st.Retries == 0 || st.OK != 1 {
+		t.Fatalf("stats = %+v; want ≥1 retry and 1 ok", st)
+	}
+}
+
+func TestClientRetryBudgetFailsFast(t *testing.T) {
+	// A listener that is already closed refuses every attempt.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	c := NewClient(ClientConfig{
+		Addr: addr, Seed: 7, Attempts: 4, RetryBudget: 1,
+		AttemptTimeout: 200 * time.Millisecond, RequestTimeout: 2 * time.Second,
+		Backoff: time.Millisecond,
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do("ping"); err == nil {
+			t.Fatalf("request %d succeeded against a dead address", i)
+		}
+	}
+	st := c.Stats()
+	if st.Retries != 1 {
+		t.Fatalf("retries = %d, want exactly the budget (1)", st.Retries)
+	}
+	if st.BudgetDenied == 0 {
+		t.Fatalf("budget exhaustion never denied a retry: %+v", st)
+	}
+	if st.Failed != 3 {
+		t.Fatalf("failed = %d, want 3", st.Failed)
+	}
+}
+
+func TestClientBackoffWindowAndDeterminism(t *testing.T) {
+	cfg := ClientConfig{Addr: "127.0.0.1:1", Seed: 42, Backoff: 8 * time.Millisecond, MaxBackoff: 64 * time.Millisecond}
+	a := NewClient(cfg)
+	b := NewClient(cfg)
+	for retry := 0; retry < 12; retry++ {
+		d := cfg.Backoff << uint(retry)
+		if d <= 0 || d > cfg.MaxBackoff {
+			d = cfg.MaxBackoff
+		}
+		ad, bd := a.backoff(retry), b.backoff(retry)
+		if ad != bd {
+			t.Fatalf("retry %d: same seed gave %s vs %s", retry, ad, bd)
+		}
+		if ad < d/2 || ad > d {
+			t.Fatalf("retry %d: backoff %s outside [%s, %s]", retry, ad, d/2, d)
+		}
+	}
+}
+
+func TestRunLoadAggregates(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{}, 1)
+	rep := RunLoad(LoadConfig{
+		Addr: px.Addr(), Seed: 7, Clients: 4, Requests: 3,
+		Client: ClientConfig{AttemptTimeout: time.Second, RequestTimeout: 3 * time.Second},
+	})
+	if rep.Stats.OK != 12 || rep.Stats.Failed != 0 {
+		t.Fatalf("load stats = %+v; want 12 ok, 0 failed", rep.Stats)
+	}
+	if rep.Degraded() {
+		t.Fatalf("clean load reported degraded")
+	}
+}
