@@ -47,6 +47,8 @@ import (
 	"cbreak/internal/memory"
 	"cbreak/internal/prob"
 	"cbreak/internal/replay"
+	"cbreak/internal/telemetry"
+	"cbreak/internal/waitgraph"
 )
 
 // Core breakpoint API.
@@ -410,4 +412,122 @@ func PostponedWaiters() []PostponedWaiter { return core.Default().PostponedWaite
 // kind; it reports whether the goroutine was found postponed there.
 func ForceRelease(name string, gid uint64, kind IncidentKind, detail string) bool {
 	return core.Default().ForceRelease(name, gid, kind, detail)
+}
+
+// Introspection accessors over the default engine (docs/USAGE.md,
+// "Live control plane & metrics").
+
+// Overload returns the default engine's installed overload protection
+// bounds; ok is false when none are installed.
+func Overload() (OverloadConfig, bool) { return core.Default().Overload() }
+
+// Events returns the default engine's retained event ring (arrivals,
+// postpones, hits, timeouts), oldest first.
+func Events() []Event { return core.Default().Events() }
+
+// Stats returns the live counters of the named breakpoint on the
+// default engine (created if unseen).
+func Stats(name string) *BPStats { return core.Default().Stats(name) }
+
+// PostponedCount returns how many goroutines are currently postponed at
+// the named two-way breakpoint on the default engine.
+func PostponedCount(name string) int { return core.Default().PostponedCount(name) }
+
+// MultiPostponedCount is PostponedCount for the n-way generalization.
+func MultiPostponedCount(name string) int { return core.Default().MultiPostponedCount(name) }
+
+// IncidentCounts returns the default engine's monotonic incident totals
+// keyed by kind label, only kinds seen at least once.
+func IncidentCounts() map[string]int64 { return core.Default().IncidentCounts() }
+
+// EngineReport renders the default engine's per-breakpoint statistics
+// as a human-readable table.
+func EngineReport() string { return core.Default().Report() }
+
+// DurableSinkInstalled reports whether a durable sink is currently
+// installed on the default engine.
+func DurableSinkInstalled() bool { return core.Default().DurableSinkInstalled() }
+
+// SetBreakpointEnabled enables or disables one breakpoint on the
+// default engine without touching the rest — the live-ops analog of
+// SetEnabled. Disabling an unseen name registers it, so a breakpoint
+// can be pre-disabled before its first arrival.
+func SetBreakpointEnabled(name string, enabled bool) {
+	core.Default().SetBreakpointEnabled(name, enabled)
+}
+
+// BreakpointEnabled reports whether the named breakpoint on the default
+// engine is enabled (unseen breakpoints are).
+func BreakpointEnabled(name string) bool { return core.Default().BreakpointEnabled(name) }
+
+// Typed telemetry: the single bus every introspection surface emits
+// through, plus the pull-path metric registry (docs/USAGE.md, "Live
+// control plane & metrics").
+type (
+	// TelemetryBus carries every engine record (events, incidents,
+	// wait-graph reports, trial outcomes) to taps and subscriptions.
+	TelemetryBus = telemetry.Bus
+	// TelemetryRecord is one bus record: a kind tag plus the matching
+	// payload field.
+	TelemetryRecord = telemetry.Record
+	// TelemetryRecordKind discriminates TelemetryRecord payloads.
+	TelemetryRecordKind = telemetry.RecordKind
+	// TelemetrySubscription is an async bounded-buffer bus listener.
+	TelemetrySubscription = telemetry.Subscription
+	// MetricRegistry gathers collectors into Prometheus text expositions.
+	MetricRegistry = telemetry.Registry
+	// MetricSample is one gathered metric value.
+	MetricSample = telemetry.Sample
+	// MetricDesc describes one metric family in the catalog.
+	MetricDesc = telemetry.Desc
+)
+
+// Telemetry record kinds.
+const (
+	RecordEvent    = telemetry.RecordEvent
+	RecordIncident = telemetry.RecordIncident
+	RecordReport   = telemetry.RecordReport
+	RecordTrial    = telemetry.RecordTrial
+)
+
+// Telemetry returns the default engine's telemetry bus; subscribe for a
+// live feed or attach synchronous taps.
+func Telemetry() *TelemetryBus { return core.Default().Bus() }
+
+// NewMetricRegistry returns an empty metric registry; render it with
+// its WritePrometheus method.
+func NewMetricRegistry() *MetricRegistry { return telemetry.NewRegistry() }
+
+// RegisterMetrics registers the default engine's metric collectors
+// (engine gauges, per-breakpoint counters and wait histograms, incident
+// totals) on reg.
+func RegisterMetrics(reg *MetricRegistry) { core.Default().RegisterMetrics(reg) }
+
+// Wait-graph supervision (docs/USAGE.md, "Deadlock supervision &
+// overload shedding").
+type (
+	// WaitGraphSupervisor periodically scans the engine's postponed set
+	// plus the instrumented-lock wait-for graph, confirms deadlocks, and
+	// breaks postpone-stall cycles.
+	WaitGraphSupervisor = waitgraph.Supervisor
+	// WaitGraphConfig parameterizes a supervisor.
+	WaitGraphConfig = waitgraph.Config
+	// WaitGraphReport is one confirmed supervisor finding.
+	WaitGraphReport = waitgraph.Report
+	// WaitGraphReportKind classifies findings.
+	WaitGraphReportKind = waitgraph.ReportKind
+)
+
+// Wait-graph report kinds.
+const (
+	ReportDeadlock      = waitgraph.ReportDeadlock
+	ReportPostponeStall = waitgraph.ReportPostponeStall
+)
+
+// StartSupervisor starts a wait-graph supervisor over the default
+// engine and returns it; callers own Stop.
+func StartSupervisor(cfg WaitGraphConfig) *WaitGraphSupervisor {
+	s := waitgraph.New(core.Default(), cfg)
+	s.Start()
+	return s
 }

@@ -12,6 +12,18 @@
 // entries. The command fails if the input contains no benchmark lines,
 // so a mis-scoped -bench pattern breaks the CI step instead of silently
 // uploading an empty artifact.
+//
+// With -baseline, the fresh numbers are additionally gated against a
+// committed prior artifact:
+//
+//	go test -run=NONE -bench=BenchmarkEngine -benchtime=100x ./internal/core \
+//	    | cbbench -baseline BENCH_engine.json \
+//	        -gate BenchmarkEngineContention,BenchmarkEngineDisabled
+//
+// Each gated series (sub-benchmarks included) must stay within
+// -max-regress of its baseline ns/op or the command exits nonzero,
+// naming every regressed series — the hot-path perf contract as a CI
+// check.
 package main
 
 import (
@@ -21,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -164,8 +177,105 @@ func parseLine(line string) (Benchmark, error) {
 	return b, nil
 }
 
+// baseName strips the trailing "-P" GOMAXPROCS suffix from a benchmark
+// name, so artifacts recorded at different -cpu values still pair.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// gated reports whether a benchmark base name falls under one of the
+// gate patterns: an exact match, or the pattern followed by a
+// sub-benchmark path ("BenchmarkEngineContention" gates ".../K=8" but
+// not BenchmarkEngineContentionSupervisorOn).
+func gated(base string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, p := range patterns {
+		if base == p || strings.HasPrefix(base, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// regression is one gated series that exceeded its allowance.
+type regression struct {
+	Name          string
+	BaseNs, CurNs float64
+	Ratio         float64
+}
+
+// minNsPerOp reduces a report to the minimum ns/op per series: with
+// `go test -count=N`, each series appears N times, and the minimum is
+// the standard noise-robust representative (nothing runs faster than
+// the hardware; only slower).
+func minNsPerOp(rep Report) map[string]float64 {
+	out := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		key := b.Pkg + " " + baseName(b.Name)
+		if cur, ok := out[key]; !ok || b.NsPerOp < cur {
+			out[key] = b.NsPerOp
+		}
+	}
+	return out
+}
+
+// gate compares cur against base: every gated series present in both
+// must hold its best (minimum over -count repeats) ns/op within
+// (1 + maxRegress) of the baseline's best. It returns the regressed
+// series and how many series were compared; zero comparisons is the
+// caller's error (a renamed benchmark must break the gate, not silently
+// pass it).
+func gate(cur, base Report, patterns []string, maxRegress float64) (regs []regression, compared int) {
+	baseline := minNsPerOp(base)
+	fresh := minNsPerOp(cur)
+	keys := make([]string, 0, len(fresh))
+	for key := range fresh {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		name := key[strings.Index(key, " ")+1:]
+		if !gated(name, patterns) {
+			continue
+		}
+		prior, ok := baseline[key]
+		if !ok {
+			continue
+		}
+		compared++
+		ratio := fresh[key] / prior
+		if ratio > 1+maxRegress {
+			regs = append(regs, regression{Name: name, BaseNs: prior, CurNs: fresh[key], Ratio: ratio})
+		}
+	}
+	return regs, compared
+}
+
+func splitPatterns(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed cbbench JSON artifact to gate fresh numbers against")
+	gatePats := flag.String("gate", "", "comma-separated benchmark names to gate (default: every series present in both artifacts)")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression against -baseline")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -176,6 +286,32 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "cbbench: no benchmark result lines in input")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbbench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var prior Report
+		if err := json.Unmarshal(data, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "cbbench: baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		regs, compared := gate(rep, prior, splitPatterns(*gatePats), *maxRegress)
+		if compared == 0 {
+			fmt.Fprintf(os.Stderr, "cbbench: no gated series matched between input and %s (renamed benchmark?)\n", *baseline)
+			os.Exit(1)
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "cbbench: REGRESSION %s: %.1f ns/op -> %.1f ns/op (%.2fx, allowed %.2fx)\n",
+				r.Name, r.BaseNs, r.CurNs, r.Ratio, 1+*maxRegress)
+		}
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cbbench: %d gated series within %.0f%% of %s\n",
+			compared, *maxRegress*100, *baseline)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

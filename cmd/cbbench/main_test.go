@@ -112,3 +112,50 @@ func TestParseMultiPackageAndSupervisorDeltas(t *testing.T) {
 		t.Fatalf("delta ratio = %v, want 168/160", d.Ratio)
 	}
 }
+
+func TestGate(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkEngineContention/K=8-4", Pkg: "core", NsPerOp: 100},
+		{Name: "BenchmarkEngineDisabled-4", Pkg: "core", NsPerOp: 20},
+		{Name: "BenchmarkEngineContentionSupervisorOn-4", Pkg: "wg", NsPerOp: 100},
+	}}
+	cur := Report{Benchmarks: []Benchmark{
+		// Recorded at a different GOMAXPROCS: still pairs.
+		{Name: "BenchmarkEngineContention/K=8-16", Pkg: "core", NsPerOp: 115},
+		{Name: "BenchmarkEngineDisabled-16", Pkg: "core", NsPerOp: 30},
+		// Gated patterns must not swallow the SupervisorOn series by
+		// prefix; it regressed 3x but is outside the gate set.
+		{Name: "BenchmarkEngineContentionSupervisorOn-16", Pkg: "wg", NsPerOp: 300},
+	}}
+	pats := []string{"BenchmarkEngineContention", "BenchmarkEngineDisabled"}
+
+	regs, compared := gate(cur, base, pats, 0.20)
+	if compared != 2 {
+		t.Fatalf("compared %d series, want 2", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkEngineDisabled" || regs[0].Ratio != 1.5 {
+		t.Fatalf("regressions = %+v, want one 1.5x on BenchmarkEngineDisabled", regs)
+	}
+
+	// Within the allowance: clean.
+	if regs, _ := gate(cur, base, []string{"BenchmarkEngineContention"}, 0.20); len(regs) != 0 {
+		t.Fatalf("contention within 20%% flagged: %+v", regs)
+	}
+	// No patterns gates everything present in both.
+	if _, compared := gate(cur, base, nil, 0.20); compared != 3 {
+		t.Fatalf("ungated comparison covered %d series, want 3", compared)
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkEngineDisabled-4":        "BenchmarkEngineDisabled",
+		"BenchmarkEngineContention/K=8-16": "BenchmarkEngineContention/K=8",
+		"BenchmarkOdd":                     "BenchmarkOdd",
+		"BenchmarkDash-suffix":             "BenchmarkDash-suffix",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 //	cbload -app mysql -bug deadlock -seed 7 -expect-deadlock
 //	cbload -app httpd -clients 1000 -requests 2 -reset 0.1 -truncate 0.1   # load smoke
 //	cbload -describe 8 -seed 7 -reset 0.2    # print the fault schedule and exit
+//	cbload -app httpd -connect 127.0.0.1:7177 -clients 32    # drive a live cbserverd
 //
 // The fault schedule and every client's retry jitter derive from -seed,
 // so a run replays fault-for-fault; -describe prints the schedule
@@ -27,9 +28,8 @@ import (
 	"sort"
 	"time"
 
+	"cbreak/internal/apps/appboot"
 	"cbreak/internal/apps/appkit"
-	"cbreak/internal/apps/httpd"
-	"cbreak/internal/apps/mysql"
 	"cbreak/internal/core"
 	"cbreak/internal/guard"
 	"cbreak/internal/journal"
@@ -62,6 +62,7 @@ func main() {
 	attemptTimeout := flag.Duration("attempt-timeout", time.Second, "per-attempt dial+roundtrip bound")
 	requestTimeout := flag.Duration("request-timeout", 5*time.Second, "per-request bound including retries and backoff")
 
+	connect := flag.String("connect", "", "drive an already-running server at this address (e.g. a live cbserverd proxy); skips the self-hosted server, proxy, engine, and verdict")
 	describe := flag.Int("describe", 0, "print the fault plans of the first N connection ordinals and exit (determinism fingerprint)")
 	expectDeadlock := flag.Bool("expect-deadlock", false, "exit nonzero unless the wait-graph supervisor confirms a deadlock")
 	stallWait := flag.Duration("stall-wait", 2*time.Second, "how long to wait for a deadlock confirmation after the load drains")
@@ -80,6 +81,29 @@ func main() {
 		return
 	}
 
+	clientCfg := netchaos.ClientConfig{
+		Attempts: *attempts, RetryBudget: *retryBudget,
+		AttemptTimeout: *attemptTimeout, RequestTimeout: *requestTimeout,
+	}
+
+	if *connect != "" {
+		// Remote mode: the server (and any chaos proxy in front of it)
+		// is someone else's — typically a live cbserverd — so the run is
+		// pure client load: no engine, no verdict, no local faults.
+		makeRequest, err := appboot.RequestGenerator(*app)
+		if err != nil {
+			fatal("%v", err)
+		}
+		rep := netchaos.RunLoad(netchaos.LoadConfig{
+			Addr: *connect, Seed: appkit.JitterSeed(),
+			Clients: *clients, Requests: *requests,
+			MakeRequest: makeRequest,
+			Client:      clientCfg,
+		})
+		fmt.Printf("load: %s\n", rep)
+		return
+	}
+
 	e := core.NewEngine()
 	if *durableEvents != "" {
 		s, err := sink.Open(*durableEvents, journal.SyncInterval)
@@ -93,13 +117,17 @@ func main() {
 	sup.Start()
 	defer sup.Stop()
 
-	server, makeRequest, err := startServer(e, *app, *bug, *pause)
+	server, err := appboot.Start(e, *app, *bug, *pause, "")
 	if err != nil {
 		fatal("%v", err)
 	}
-	defer server.close()
+	defer server.Close()
+	makeRequest, err := appboot.RequestGenerator(*app)
+	if err != nil {
+		fatal("%v", err)
+	}
 
-	px, err := netchaos.Start(server.addr, netchaos.Config{
+	px, err := netchaos.Start(server.Addr, netchaos.Config{
 		Seed:   appkit.JitterSeed(),
 		Faults: faults,
 		OnFault: func(ev netchaos.FaultEvent) {
@@ -115,10 +143,7 @@ func main() {
 		Addr: px.Addr(), Seed: appkit.JitterSeed(),
 		Clients: *clients, Requests: *requests,
 		MakeRequest: makeRequest,
-		Client: netchaos.ClientConfig{
-			Attempts: *attempts, RetryBudget: *retryBudget,
-			AttemptTimeout: *attemptTimeout, RequestTimeout: *requestTimeout,
-		},
+		Client:      clientCfg,
 	})
 
 	fmt.Printf("load: %s\n", rep)
@@ -128,7 +153,7 @@ func main() {
 			fmt.Printf("  %-10s %d\n", k, n)
 		}
 	}
-	fmt.Printf("server: %d request(s) served, %d connection(s) shed\n", server.served(), server.shedCount())
+	fmt.Printf("server: %d request(s) served, %d connection(s) shed\n", server.Served(), server.ShedCount())
 	if inc := e.IncidentCounts(); len(inc) > 0 {
 		keys := make([]string, 0, len(inc))
 		for k := range inc {
@@ -167,64 +192,6 @@ func main() {
 	if *expectDeadlock && !confirmed {
 		fatal("expected a confirmed deadlock; none observed")
 	}
-}
-
-// loadTarget abstracts the two socket servers behind one close/stat
-// surface for the driver.
-type loadTarget struct {
-	addr      string
-	close     func() error
-	served    func() int64
-	shedCount func() int64
-}
-
-// startServer boots the requested app server with the requested bug
-// armed and returns it plus the request generator that exercises it.
-func startServer(e *core.Engine, app, bug string, pause time.Duration) (*loadTarget, func(int, int) string, error) {
-	switch app {
-	case "httpd":
-		cfg := httpd.Config{Engine: e, Timeout: pause}
-		switch bug {
-		case "none":
-			cfg.Bug, cfg.Breakpoint = httpd.LogCorruption, false
-		case "log-corruption":
-			cfg.Bug, cfg.Breakpoint = httpd.LogCorruption, true
-		default:
-			return nil, nil, fmt.Errorf("unknown httpd bug %q (want none or log-corruption)", bug)
-		}
-		ns, err := httpd.StartNet(cfg, httpd.NetConfig{})
-		if err != nil {
-			return nil, nil, fmt.Errorf("httpd start: %w", err)
-		}
-		req := func(client, request int) string {
-			return fmt.Sprintf("GET /page/%d", client*1000+request)
-		}
-		return &loadTarget{addr: ns.Addr(), close: ns.Close, served: ns.Served, shedCount: ns.ShedCount}, req, nil
-	case "mysql":
-		cfg := mysql.Config{Engine: e, Timeout: pause, StallAfter: 30 * time.Second}
-		switch bug {
-		case "none":
-			cfg.Bug, cfg.Breakpoint = mysql.Deadlock, false
-		case "deadlock":
-			cfg.Bug, cfg.Breakpoint = mysql.Deadlock, true
-		default:
-			return nil, nil, fmt.Errorf("unknown mysql bug %q (want none or deadlock)", bug)
-		}
-		ns, err := mysql.StartNet(cfg, mysql.NetConfig{})
-		if err != nil {
-			return nil, nil, fmt.Errorf("mysql start: %w", err)
-		}
-		req := func(client, request int) string {
-			// Even clients write, odd clients rotate logs: with the
-			// deadlock armed this drives the crossing lock orders.
-			if client%2 == 0 {
-				return fmt.Sprintf("INSERT INTO t1 VALUES ('c%d-r%d')", client, request)
-			}
-			return "FLUSH LOGS"
-		}
-		return &loadTarget{addr: ns.Addr(), close: ns.Close, served: ns.Served, shedCount: ns.ShedCount}, req, nil
-	}
-	return nil, nil, fmt.Errorf("unknown app %q (want httpd or mysql)", app)
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,351 @@
+package main
+
+// The admin HTTP surface: every handler reads or writes engine state
+// through the same public accessors the in-process drivers use, so the
+// control plane adds no new mutation paths — a live toggle is exactly
+// core.Engine.SetBreakpointEnabled, a live release exactly
+// core.Engine.ForceRelease.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"cbreak/internal/apps/appboot"
+	"cbreak/internal/core"
+	"cbreak/internal/guard"
+	"cbreak/internal/netchaos"
+	"cbreak/internal/telemetry"
+	"cbreak/internal/waitgraph"
+)
+
+// daemon is the serving state shared by every admin handler.
+type daemon struct {
+	e       *core.Engine
+	sup     *waitgraph.Supervisor
+	reg     *telemetry.Registry
+	app     *appboot.App
+	px      *netchaos.Proxy
+	started time.Time
+}
+
+// Serving-layer metric descriptors: app and proxy counters that live
+// outside the engine's catalog but render through the same registry.
+var (
+	descUptime = telemetry.Desc{Name: "cbreak_uptime_seconds",
+		Help: "Seconds since cbserverd started.", Kind: telemetry.Gauge}
+	descAppServed = telemetry.Desc{Name: "cbreak_app_served_requests_total",
+		Help: "Request lines the app server answered.", Kind: telemetry.Counter, Labels: []string{"app"}}
+	descAppShed = telemetry.Desc{Name: "cbreak_app_shed_connections_total",
+		Help: "Connections the app server's accept loop shed.", Kind: telemetry.Counter, Labels: []string{"app"}}
+	descProxyConns = telemetry.Desc{Name: "cbreak_proxy_connections_total",
+		Help: "Connections the chaos proxy accepted.", Kind: telemetry.Counter}
+	descProxyFaults = telemetry.Desc{Name: "cbreak_proxy_faults_total",
+		Help: "Faults the chaos proxy injected, by kind.", Kind: telemetry.Counter, Labels: []string{"kind"}}
+)
+
+// registerServingMetrics adds the app/proxy collectors to the registry.
+func (d *daemon) registerServingMetrics(reg *telemetry.Registry) {
+	reg.RegisterCollector(func(emit func(telemetry.Sample)) {
+		emit(telemetry.Sample{Desc: &descUptime, Value: time.Since(d.started).Seconds()})
+		emit(telemetry.Sample{Desc: &descAppServed,
+			Labels: []string{d.app.Name}, Value: float64(d.app.Served())})
+		emit(telemetry.Sample{Desc: &descAppShed,
+			Labels: []string{d.app.Name}, Value: float64(d.app.ShedCount())})
+		emit(telemetry.Sample{Desc: &descProxyConns, Value: float64(d.px.Connections())})
+		for _, k := range netchaos.Kinds() {
+			emit(telemetry.Sample{Desc: &descProxyFaults,
+				Labels: []string{k.String()}, Value: float64(d.px.FaultCount(k))})
+		}
+	})
+}
+
+// mux routes the admin API.
+func (d *daemon) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+	m.HandleFunc("/metrics", d.handleMetrics)
+	m.HandleFunc("/stream", d.handleStream)
+	m.HandleFunc("/status", d.handleStatus)
+	m.HandleFunc("/breakpoints", d.handleBreakpoints)
+	m.HandleFunc("/breakpoints/toggle", d.handleToggle)
+	m.HandleFunc("/engine", d.handleEngine)
+	m.HandleFunc("/tune/overload", d.handleTuneOverload)
+	m.HandleFunc("/tune/breaker", d.handleTuneBreaker)
+	m.HandleFunc("/release", d.handleRelease)
+	m.HandleFunc("/waiters", d.handleWaiters)
+	m.HandleFunc("/incidents", d.handleIncidents)
+	m.HandleFunc("/reports", d.handleReports)
+	return m
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	d.reg.WritePrometheus(w)
+}
+
+// handleStream serves the live NDJSON telemetry feed: one JSON object
+// per bus record until the client disconnects. The subscription's
+// bounded buffer means a slow consumer drops records (counted on the
+// bus) instead of stalling the engine.
+func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
+	sub := d.e.Bus().Subscribe(1024)
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case rec := <-sub.C():
+			if err := telemetry.WriteNDJSON(w, rec); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+}
+
+func (d *daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ov, ovSet := d.e.Overload()
+	st := map[string]any{
+		"app":            d.app.Name,
+		"bug":            d.app.Bug,
+		"app_addr":       d.app.Addr,
+		"proxy_addr":     d.px.Addr(),
+		"uptime_seconds": time.Since(d.started).Seconds(),
+		"engine_enabled": d.e.Enabled(),
+		"postponed":      d.e.PostponedTotal(),
+		"served":         d.app.Served(),
+		"shed":           d.app.ShedCount(),
+		"proxy_conns":    d.px.Connections(),
+		"proxy_faults":   d.px.TotalFaults(),
+		"watchdog":       d.e.WatchdogRunning(),
+		"durable_sink":   d.e.DurableSinkInstalled(),
+		"scans":          d.sup.Scans(),
+		"bus_dropped":    d.e.Bus().Dropped(),
+	}
+	if ovSet {
+		st["overload"] = ov
+	}
+	writeJSON(w, st)
+}
+
+// breakpointView is one row of GET /breakpoints.
+type breakpointView struct {
+	core.StatsSnapshot
+	Enabled   bool
+	Postponed int
+}
+
+func (d *daemon) handleBreakpoints(w http.ResponseWriter, r *http.Request) {
+	snaps := d.e.SnapshotAll()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	out := make([]breakpointView, 0, len(snaps))
+	for _, s := range snaps {
+		out = append(out, breakpointView{
+			StatsSnapshot: s,
+			Enabled:       d.e.BreakpointEnabled(s.Name),
+			Postponed:     d.e.PostponedCount(s.Name) + d.e.MultiPostponedCount(s.Name),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// handleToggle registers, enables, or disables one breakpoint live.
+// Toggling an unseen name registers it (its shard is created), so an
+// operator can pre-disable a breakpoint before the first arrival.
+func (d *daemon) handleToggle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.FormValue("name")
+	if name == "" {
+		http.Error(w, "name required", http.StatusBadRequest)
+		return
+	}
+	enabled, err := strconv.ParseBool(r.FormValue("enabled"))
+	if err != nil {
+		http.Error(w, "enabled must be true or false", http.StatusBadRequest)
+		return
+	}
+	d.e.SetBreakpointEnabled(name, enabled)
+	writeJSON(w, map[string]any{"breakpoint": name, "enabled": d.e.BreakpointEnabled(name)})
+}
+
+func (d *daemon) handleEngine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	enabled, err := strconv.ParseBool(r.FormValue("enabled"))
+	if err != nil {
+		http.Error(w, "enabled must be true or false", http.StatusBadRequest)
+		return
+	}
+	d.e.SetEnabled(enabled)
+	writeJSON(w, map[string]any{"engine_enabled": d.e.Enabled()})
+}
+
+// handleTuneOverload replaces the engine's overload policy live.
+// Omitted parameters keep the currently-installed value; clear=true
+// removes the policy entirely.
+func (d *daemon) handleTuneOverload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if ok, _ := strconv.ParseBool(r.FormValue("clear")); ok {
+		d.e.SetOverloadConfig(nil)
+		writeJSON(w, map[string]any{"overload": nil})
+		return
+	}
+	cfg, _ := d.e.Overload() // zero value when none installed
+	if err := firstErr(
+		intParam(r, "high-water", &cfg.GlobalHighWater),
+		intParam(r, "soft-water", &cfg.SoftWater),
+		intParam(r, "max-per-shard", &cfg.MaxPerShard),
+		durParam(r, "min-budget", &cfg.MinBudget),
+	); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d.e.SetOverloadConfig(&cfg)
+	writeJSON(w, map[string]any{"overload": cfg})
+}
+
+// handleTuneBreaker replaces the per-breakpoint circuit-breaker policy
+// live. Omitted parameters take the production defaults; clear=true
+// removes breakers (existing ones disengage on their next arrival).
+func (d *daemon) handleTuneBreaker(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if ok, _ := strconv.ParseBool(r.FormValue("clear")); ok {
+		d.e.SetBreakerConfig(nil)
+		writeJSON(w, map[string]any{"breaker": nil})
+		return
+	}
+	cfg := guard.DefaultBreakerConfig()
+	if err := firstErr(
+		intParam(r, "min-samples", &cfg.MinSamples),
+		intParam(r, "window", &cfg.Window),
+		floatParam(r, "timeout-rate", &cfg.TimeoutRate),
+		durParam(r, "backoff", &cfg.Backoff),
+		durParam(r, "max-backoff", &cfg.MaxBackoff),
+	); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d.e.SetBreakerConfig(&cfg)
+	writeJSON(w, map[string]any{"breaker": cfg})
+}
+
+// handleRelease force-releases one postponed goroutine with a timeout
+// outcome — the operator's manual override when a victim is wedged and
+// neither the watchdog nor the supervisor has claimed it.
+func (d *daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.FormValue("breakpoint")
+	gid, err := strconv.ParseUint(r.FormValue("gid"), 10, 64)
+	if name == "" || err != nil {
+		http.Error(w, "breakpoint and numeric gid required (see GET /waiters)", http.StatusBadRequest)
+		return
+	}
+	released := d.e.ForceRelease(name, gid, guard.KindWatchdogRelease,
+		fmt.Sprintf("admin force-release of gid %d", gid))
+	writeJSON(w, map[string]any{"breakpoint": name, "gid": gid, "released": released})
+}
+
+func (d *daemon) handleWaiters(w http.ResponseWriter, r *http.Request) {
+	ws := d.e.PostponedWaiters()
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Breakpoint != ws[j].Breakpoint {
+			return ws[i].Breakpoint < ws[j].Breakpoint
+		}
+		return ws[i].GID < ws[j].GID
+	})
+	writeJSON(w, ws)
+}
+
+func (d *daemon) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"counts":    d.e.IncidentCounts(),
+		"incidents": d.e.Incidents(),
+	})
+}
+
+func (d *daemon) handleReports(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, d.sup.Reports())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// intParam, floatParam, and durParam overwrite *dst only when the query
+// parameter is present, so tuning endpoints merge over current values.
+func intParam(r *http.Request, key string, dst *int) error {
+	v := r.FormValue(key)
+	if v == "" {
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("%s: %w", key, err)
+	}
+	*dst = n
+	return nil
+}
+
+func floatParam(r *http.Request, key string, dst *float64) error {
+	v := r.FormValue(key)
+	if v == "" {
+		return nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return fmt.Errorf("%s: %w", key, err)
+	}
+	*dst = f
+	return nil
+}
+
+func durParam(r *http.Request, key string, dst *time.Duration) error {
+	v := r.FormValue(key)
+	if v == "" {
+		return nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return fmt.Errorf("%s: %w", key, err)
+	}
+	*dst = d
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Command cbserverd is the always-on face of the breakpoint engine: it
+// boots a benchmark app server (httpd or mysql) behind the netchaos
+// fault-injecting proxy and serves a live control plane over HTTP —
+// Prometheus-text metrics from the typed telemetry registry, an NDJSON
+// stream of every record on the engine's telemetry bus, and an admin
+// API that registers/enables/disables breakpoints, tunes overload and
+// breaker policy, and force-releases wedged victims, all without a
+// restart.
+//
+// Usage:
+//
+//	cbserverd -addr 127.0.0.1:7070 -app httpd -bug log-corruption
+//	cbserverd -addr 127.0.0.1:7070 -app mysql -bug deadlock \
+//	    -proxy-addr 127.0.0.1:7177 -reset 0.05 -latency 200us
+//
+// Endpoints (admin listener):
+//
+//	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /stream                   NDJSON telemetry feed (until disconnect)
+//	GET  /status                   process/server/proxy status JSON
+//	GET  /breakpoints              per-breakpoint stats + enabled flags
+//	GET  /waiters                  currently postponed goroutines
+//	GET  /incidents                guard incident log snapshot
+//	GET  /reports                  wait-graph supervisor reports
+//	POST /breakpoints/toggle       ?name=X&enabled=true|false
+//	POST /engine                   ?enabled=true|false
+//	POST /tune/overload            ?high-water=&soft-water=&max-per-shard=&min-budget= | ?clear=true
+//	POST /tune/breaker             ?min-samples=&window=&timeout-rate=&backoff=&max-backoff= | ?clear=true
+//	POST /release                  ?breakpoint=X&gid=N
+//
+// Load clients dial the chaos proxy address (-proxy-addr, reported in
+// /status); cbload -connect drives it directly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cbreak/internal/apps/appboot"
+	"cbreak/internal/apps/appkit"
+	"cbreak/internal/core"
+	"cbreak/internal/guard"
+	"cbreak/internal/journal"
+	"cbreak/internal/journal/sink"
+	"cbreak/internal/netchaos"
+	"cbreak/internal/telemetry"
+	"cbreak/internal/waitgraph"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "admin/metrics HTTP listen address")
+	app := flag.String("app", "httpd", "server to run: httpd or mysql")
+	bug := flag.String("bug", "none", "bug to arm: none, log-corruption (httpd), deadlock (mysql)")
+	pause := flag.Duration("pause", 50*time.Millisecond, "breakpoint pause time T")
+	appAddr := flag.String("app-addr", "127.0.0.1:0", "app server listen address")
+	proxyAddr := flag.String("proxy-addr", "127.0.0.1:0", "chaos proxy listen address (what load clients dial)")
+	seed := flag.Int64("seed", 1, "seed for the fault schedule")
+
+	latency := flag.Duration("latency", 0, "base injected latency per forwarded chunk")
+	latencyJitter := flag.Duration("latency-jitter", 0, "extra per-connection latency bound (defaults to -latency)")
+	reset := flag.Float64("reset", 0, "connection reset probability")
+	truncate := flag.Float64("truncate", 0, "stream truncation probability")
+	halfOpen := flag.Float64("halfopen", 0, "half-open drop probability")
+	throttle := flag.Float64("throttle", 0, "bandwidth throttle probability")
+	throttleBps := flag.Int("throttle-bps", 0, "throttled connection cap in bytes/second (default 2048)")
+	slowLoris := flag.Float64("slowloris", 0, "slow-loris trickle probability")
+
+	watchdog := flag.Duration("watchdog", 0, "watchdog scan interval (0 = off)")
+	watchdogGrace := flag.Duration("watchdog-grace", time.Second, "watchdog release grace past a waiter's deadline")
+	durableEvents := flag.String("durable-events", "", "journal engine events and guard incidents under this directory")
+	drainTimeout := flag.Duration("drain", 5*time.Second, "graceful drain bound on shutdown")
+	flag.Parse()
+
+	appkit.SeedJitter(*seed)
+	e := core.NewEngine()
+	if *durableEvents != "" {
+		s, err := sink.Open(*durableEvents, journal.SyncInterval)
+		if err != nil {
+			fatal("durable events: %v", err)
+		}
+		defer s.Close()
+		e.SetDurableSink(s)
+	}
+	if *watchdog > 0 {
+		e.StartWatchdog(*watchdog, *watchdogGrace)
+		defer e.StopWatchdog()
+	}
+	sup := waitgraph.New(e, waitgraph.Config{})
+	sup.Start()
+	defer sup.Stop()
+
+	server, err := appboot.Start(e, *app, *bug, *pause, *appAddr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer server.Close()
+
+	px, err := netchaos.Start(server.Addr, netchaos.Config{
+		ListenAddr: *proxyAddr,
+		Seed:       appkit.JitterSeed(),
+		Faults: netchaos.Faults{
+			Latency: *latency, LatencyJitter: *latencyJitter,
+			ResetRate: *reset, TruncateRate: *truncate, HalfOpenRate: *halfOpen,
+			ThrottleRate: *throttle, ThrottleBps: *throttleBps, SlowLorisRate: *slowLoris,
+		},
+		OnFault: func(ev netchaos.FaultEvent) {
+			e.RecordIncident(guard.KindNetFault, "netchaos."+ev.Kind.String(), 0, ev.String())
+		},
+	})
+	if err != nil {
+		fatal("proxy start: %v", err)
+	}
+	defer px.Close()
+
+	reg := telemetry.NewRegistry()
+	e.RegisterMetrics(reg)
+	sup.RegisterMetrics(reg)
+	reg.WireBus("engine", e.Bus())
+
+	d := &daemon{e: e, sup: sup, reg: reg, app: server, px: px, started: time.Now()}
+	d.registerServingMetrics(reg)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: d.mux()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("cbserverd: admin http://%s  app %s(%s) %s  proxy %s\n",
+		*addr, server.Name, server.Bug, server.Addr, px.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fatal("admin listener: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admin intake first (in-flight scrapes and
+	// streams get the drain bound), then sever the chaos proxy so the
+	// app server's own drain isn't racing injected faults, then the
+	// deferred closes drain the app, supervisor, watchdog, and sink.
+	fmt.Println("cbserverd: draining")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		httpSrv.Close()
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cbserverd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -26,6 +26,10 @@ type LineHandler func(conn, seq int, line string) string
 type SocketServerConfig struct {
 	// Handler serves each request line (required).
 	Handler LineHandler
+	// Addr is the listen address (default "127.0.0.1:0", an ephemeral
+	// loopback port). Always-on deployments (cmd/cbserverd) pin it so
+	// the served address survives restarts.
+	Addr string
 	// Shed, when non-nil, is consulted before serving each accepted
 	// connection; a true verdict sheds it: the server writes
 	// ShedResponse and closes instead of serving — accept-loop
@@ -64,10 +68,14 @@ type SocketServer struct {
 	inflight   sync.WaitGroup
 }
 
-// StartSocketServer listens on 127.0.0.1:0 and serves cfg.Handler.
+// StartSocketServer listens on cfg.Addr (default 127.0.0.1:0) and
+// serves cfg.Handler.
 func StartSocketServer(cfg SocketServerConfig) (*SocketServer, error) {
 	if cfg.Handler == nil {
 		return nil, fmt.Errorf("appkit: SocketServerConfig.Handler is required")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
 	}
 	if cfg.ShedResponse == "" {
 		cfg.ShedResponse = "err overloaded"
@@ -78,7 +86,7 @@ func StartSocketServer(cfg SocketServerConfig) (*SocketServer, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("appkit: listen: %w", err)
 	}

@@ -37,6 +37,8 @@ type NetServer struct {
 
 // NetConfig parameterizes StartNet beyond the run Config.
 type NetConfig struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
 	// ConnTimeout bounds each connection read/write (default 30s).
 	ConnTimeout time.Duration
 	// DrainTimeout bounds graceful drain on Close (default 5s).
@@ -56,6 +58,7 @@ func StartNet(cfg Config, ncfg NetConfig) (*NetServer, error) {
 	ns := &NetServer{cfg: &cfg}
 	ns.srv = NewServer(ns.cfg)
 	kit, err := appkit.StartSocketServer(appkit.SocketServerConfig{
+		Addr:         ncfg.Addr,
 		Handler:      ns.handle,
 		Shed:         engineShed(ns.cfg),
 		OnShed:       func(reason string) { cfg.Engine.RecordIncident(guard.KindOverloadShed, "httpd.accept", 0, reason) },

@@ -39,6 +39,8 @@ type NetServer struct {
 
 // NetConfig parameterizes StartNet beyond the run Config.
 type NetConfig struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
 	// ConnTimeout bounds each connection read/write (default 30s).
 	ConnTimeout time.Duration
 	// DrainTimeout bounds graceful drain on Close (default 5s).
@@ -65,6 +67,7 @@ func StartNet(cfg Config, ncfg NetConfig) (*NetServer, error) {
 	}
 	e := cfg.Engine
 	kit, err := appkit.StartSocketServer(appkit.SocketServerConfig{
+		Addr:    ncfg.Addr,
 		Handler: ns.handle,
 		Shed: func() (string, bool) {
 			ov, ok := e.Overload()

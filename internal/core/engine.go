@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cbreak/internal/guard"
+	"cbreak/internal/telemetry"
 )
 
 // Engine implements the BTrigger mechanism: it keeps the set of
@@ -43,7 +44,14 @@ type Engine struct {
 	seq      atomic.Uint64 // arrival sequence, for deterministic matching order
 	eventSeq atomic.Uint64 // global event sequence; orders the merged Events() view
 	onHit    atomic.Pointer[onHitBox]
-	durable  atomic.Pointer[durableBox] // opt-in on-disk event/incident tee (durable.go)
+
+	// bus is the engine's telemetry bus: every event and incident is
+	// published on it, and every consumer — durable journal sink
+	// (durable.go, attached as a synchronous tap), live NDJSON streams,
+	// stream metric counters — hangs off it. With no listeners a publish
+	// is one atomic load, the same price the old durable-sink check paid.
+	bus     *telemetry.Bus
+	durable durableState // tracks the durable sink's bus tap (durable.go)
 
 	// postponedTotal counts currently-postponed goroutines across all
 	// shards (two-way and multi-way). Maintained at the shard append /
@@ -79,6 +87,7 @@ func NewEngine() *Engine {
 	e := &Engine{
 		DefaultTimeout: 100 * time.Millisecond,
 		OrderWindow:    100 * time.Microsecond,
+		bus:            telemetry.NewBus(),
 	}
 	e.registry.Store(new(sync.Map))
 	e.enabled.Store(true)
@@ -196,7 +205,7 @@ func (e *Engine) TriggerOutcome(t Trigger, first bool, opts Options) Outcome {
 // resolved by the caller (by name, or pinned on a handle); all state the
 // arrival touches lives on it.
 func (e *Engine) trigger(s *bpState, t Trigger, first bool, opts Options, action func()) Outcome {
-	if !e.enabled.Load() {
+	if !e.enabled.Load() || s.disabled.Load() {
 		if action != nil {
 			action()
 		}

@@ -1,10 +1,11 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"cbreak/internal/telemetry"
 )
 
 // This file adds observability to the engine: a bounded event log of
@@ -19,63 +20,32 @@ import (
 // readers and other arrivals of the same breakpoint — the hit path
 // takes no second global mutex. Events carry a global sequence number
 // and Events() merges the per-shard rings in sequence order.
+//
+// The event shape itself lives in internal/telemetry (the typed
+// telemetry core sits below this package in the import graph so that
+// every layer can publish records); the names are aliased here so the
+// engine's historical API — core.Event, core.EventHit — is unchanged.
 
-// EventKind classifies an engine event.
-type EventKind int
+// EventKind classifies an engine event. It is internal/telemetry's
+// EventKind; see that package for the canonical definition.
+type EventKind = telemetry.EventKind
 
-// Engine event kinds.
+// Engine event kinds, re-exported from internal/telemetry.
 const (
 	// EventArrived: a goroutine called TriggerHere.
-	EventArrived EventKind = iota
+	EventArrived = telemetry.EventArrived
 	// EventPostponed: the goroutine entered the postponed set.
-	EventPostponed
+	EventPostponed = telemetry.EventPostponed
 	// EventHit: a breakpoint rendezvoused.
-	EventHit
+	EventHit = telemetry.EventHit
 	// EventTimeout: a postponement expired without a partner.
-	EventTimeout
+	EventTimeout = telemetry.EventTimeout
 )
 
-// String returns the event-kind label.
-func (k EventKind) String() string {
-	switch k {
-	case EventArrived:
-		return "arrived"
-	case EventPostponed:
-		return "postponed"
-	case EventHit:
-		return "hit"
-	case EventTimeout:
-		return "timeout"
-	default:
-		return "unknown"
-	}
-}
-
-// Event is one entry of the engine's event log.
-type Event struct {
-	// Seq is the engine-wide event sequence number; it totally orders
-	// events across breakpoints (When has only clock resolution).
-	Seq uint64
-	// When is the event timestamp.
-	When time.Time
-	// Kind classifies the event.
-	Kind EventKind
-	// Breakpoint is the breakpoint name.
-	Breakpoint string
-	// GID is the goroutine involved.
-	GID uint64
-	// First reports the breakpoint side.
-	First bool
-}
-
-// String formats the event for logs.
-func (ev Event) String() string {
-	side := "second"
-	if ev.First {
-		side = "first"
-	}
-	return fmt.Sprintf("%s %s g%d (%s side)", ev.Breakpoint, ev.Kind, ev.GID, side)
-}
+// Event is one entry of the engine's event log (telemetry.Event: the
+// same value flows to the shard ring, the telemetry bus, and every bus
+// consumer — durable journal sink, NDJSON stream, metric counters).
+type Event = telemetry.Event
 
 // eventRing is one shard's bounded ring of engine events.
 type eventRing struct {
@@ -152,10 +122,13 @@ func (e *Engine) Events() []Event {
 
 // logEvent appends to the shard's ring (cheap enough to do
 // unconditionally; the engine is only active when breakpoints are
-// enabled).
+// enabled) and publishes the same value on the engine's telemetry bus —
+// the single fan-out behind the durable journal sink, live NDJSON
+// streams, and stream metric counters. With no bus listeners the
+// publish is one atomic load.
 func (e *Engine) logEvent(s *bpState, kind EventKind, gid uint64, first bool) {
 	ev := Event{Seq: e.eventSeq.Add(1), When: time.Now(),
 		Kind: kind, Breakpoint: s.name, GID: gid, First: first}
 	s.events.add(ev)
-	e.durableEvent(ev)
+	e.bus.Publish(telemetry.Record{Kind: telemetry.RecordEvent, Event: ev})
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cbreak/internal/guard"
+	"cbreak/internal/telemetry"
 )
 
 // This file threads the internal/guard hardening layer through the
@@ -78,7 +79,7 @@ func (e *Engine) IncidentCounts() map[string]int64 {
 func (e *Engine) recordIncident(k guard.IncidentKind, name string, gid uint64, detail string) {
 	in := guard.Incident{When: time.Now(), Kind: k, Breakpoint: name, GID: gid, Detail: detail}
 	e.incidents.Record(in)
-	e.durableIncident(in)
+	e.bus.Publish(telemetry.Record{Kind: telemetry.RecordIncident, Incident: in})
 }
 
 // RecordIncident appends an incident to the engine's log on behalf of

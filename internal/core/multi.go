@@ -74,7 +74,7 @@ func (e *Engine) triggerMulti(s *bpState, t Trigger, slot, arity int, opts Optio
 		}
 		return OutcomeLocalFalse
 	}
-	if !e.enabled.Load() {
+	if !e.enabled.Load() || s.disabled.Load() {
 		if action != nil {
 			action()
 		}

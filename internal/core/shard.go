@@ -27,6 +27,15 @@ type bpState struct {
 	stats *BPStats
 	eng   *Engine // owning engine, for global postponed accounting
 
+	// disabled administratively bypasses this one breakpoint while the
+	// engine stays enabled (Engine.SetBreakpointEnabled — the live
+	// control plane's per-breakpoint toggle). Checked lock-free at the
+	// top of every trigger path; a disabled arrival behaves exactly like
+	// an engine-disabled one (action still runs, OutcomeDisabled). The
+	// flag lives on the shard, so Reset discards it with the rest of the
+	// breakpoint's state.
+	disabled atomic.Bool
+
 	// mu guards the postponed lists, the waiter state machines, and the
 	// retired flag. It is the only lock on the rendezvous path, and it
 	// is private to this breakpoint.

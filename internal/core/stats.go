@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"cbreak/internal/telemetry"
 )
 
 // BPStats accumulates per-breakpoint counters. All fields are updated
@@ -22,6 +24,14 @@ type BPStats struct {
 	waitNanos     atomic.Int64 // total time spent postponed
 	maxWaitNanos  atomic.Int64
 	lastHitUnixNs atomic.Int64
+
+	// waitHist buckets individual postponement waits by duration against
+	// telemetry.WaitBuckets (upper bounds in seconds; waits above the
+	// last bound land only in waitObs). Atomic per-bucket counts, so the
+	// histogram costs one extra atomic add per postponement — nothing on
+	// the disabled or local-false paths.
+	waitHist [telemetry.NumWaitBuckets]atomic.Int64
+	waitObs  atomic.Int64 // total observations (addWait calls)
 
 	// Hardening counters (hardening.go): absorbed user-closure panics,
 	// arrivals shed by an open circuit breaker, breaker trips and
@@ -51,6 +61,14 @@ func (s *BPStats) hit() {
 func (s *BPStats) addWait(d time.Duration) {
 	n := int64(d)
 	s.waitNanos.Add(n)
+	s.waitObs.Add(1)
+	secs := d.Seconds()
+	for i, bound := range telemetry.WaitBuckets {
+		if secs <= bound {
+			s.waitHist[i].Add(1)
+			break
+		}
+	}
 	for {
 		cur := s.maxWaitNanos.Load()
 		if n <= cur || s.maxWaitNanos.CompareAndSwap(cur, n) {
@@ -126,6 +144,14 @@ type StatsSnapshot struct {
 	TotalWait   time.Duration
 	MaxWait     time.Duration
 	LastHit     time.Time
+
+	// WaitHist is the postponement-wait histogram: per-bucket
+	// (non-cumulative) observation counts against telemetry.WaitBuckets;
+	// WaitCount is the total observation count (waits above the last
+	// bound are in WaitCount but no bucket). Nil/zero when the
+	// breakpoint never postponed.
+	WaitHist  []int64 `json:",omitempty"`
+	WaitCount int64   `json:",omitempty"`
 }
 
 // Snapshot returns an atomic copy of the counters.
@@ -146,6 +172,13 @@ func (s *BPStats) Snapshot() StatsSnapshot {
 	}
 	if ns := s.lastHitUnixNs.Load(); ns != 0 {
 		snap.LastHit = time.Unix(0, ns)
+	}
+	if n := s.waitObs.Load(); n != 0 {
+		snap.WaitCount = n
+		snap.WaitHist = make([]int64, len(s.waitHist))
+		for i := range s.waitHist {
+			snap.WaitHist[i] = s.waitHist[i].Load()
+		}
 	}
 	return snap
 }

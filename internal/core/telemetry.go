@@ -1,0 +1,109 @@
+package core
+
+import (
+	"cbreak/internal/telemetry"
+)
+
+// This file is the engine's binding to the typed telemetry core
+// (internal/telemetry): the bus accessor, the per-breakpoint
+// administrative toggle the live control plane flips, and the metric
+// collector that exposes the engine's sharded state through the
+// declared catalog.
+//
+// The collector is pull-based by design: it reads the same atomic
+// counters the engine already maintains (BPStats, postponedTotal, the
+// registry walk) at scrape time, so exporting metrics adds zero
+// instructions — and zero locks — to the trigger hot path.
+
+// Bus returns the engine's telemetry bus. Every engine event and guard
+// incident is published on it; the durable journal sink consumes it as
+// a synchronous tap (SetDurableSink), live streams subscribe to it, and
+// telemetry.Registry.WireBus counts its records.
+func (e *Engine) Bus() *telemetry.Bus { return e.bus }
+
+// SetBreakpointEnabled administratively enables or disables one
+// breakpoint while the engine stays up: a disabled breakpoint's
+// arrivals return OutcomeDisabled at the cost of one extra atomic load
+// (actions still run, exactly like an engine-wide disable). The flag
+// lives on the breakpoint's shard — created here if the breakpoint has
+// not been reached yet, so a breakpoint can be pre-disabled before its
+// first arrival — and is discarded by Reset with the rest of the
+// shard's state.
+func (e *Engine) SetBreakpointEnabled(name string, enabled bool) {
+	e.shard(name).disabled.Store(!enabled)
+}
+
+// BreakpointEnabled reports whether the named breakpoint is
+// administratively enabled (true for breakpoints never toggled,
+// including ones the engine has not seen).
+func (e *Engine) BreakpointEnabled(name string) bool {
+	s, ok := e.lookupShard(name)
+	return !ok || !s.disabled.Load()
+}
+
+// RegisterMetrics registers the engine's catalog collectors on reg:
+// engine-wide gauges (enabled, postponed population, overload water
+// marks), every breakpoint's BPStats counters and wait histogram,
+// per-breakpoint enable/breaker state, and incident totals by kind.
+// Collection is lock-free with respect to arrivals — it walks the shard
+// registry and loads atomics, the same reads SnapshotAll does.
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCollector(func(emit func(telemetry.Sample)) {
+		emit(telemetry.Sample{Desc: telemetry.DescEngineEnabled, Value: boolGauge(e.Enabled())})
+		emit(telemetry.Sample{Desc: telemetry.DescPostponedWaiters, Value: float64(e.PostponedTotal())})
+		if ov, ok := e.Overload(); ok {
+			emit(telemetry.Sample{Desc: telemetry.DescOverloadHighWater, Value: float64(ov.GlobalHighWater)})
+			emit(telemetry.Sample{Desc: telemetry.DescOverloadSoftWater, Value: float64(ov.SoftWater)})
+			emit(telemetry.Sample{Desc: telemetry.DescOverloadMaxPerShard, Value: float64(ov.MaxPerShard)})
+		}
+
+		for _, s := range e.AllStats() {
+			name := s.Name()
+			labels := []string{name}
+			emit(telemetry.Sample{Desc: telemetry.DescBPEnabled, Labels: labels,
+				Value: boolGauge(e.BreakpointEnabled(name))})
+			emit(telemetry.Sample{Desc: telemetry.DescBPArrivals, Labels: labels, Value: float64(s.Arrivals())})
+			emit(telemetry.Sample{Desc: telemetry.DescBPLocalFalses, Labels: labels, Value: float64(s.LocalFalses())})
+			emit(telemetry.Sample{Desc: telemetry.DescBPPostpones, Labels: labels, Value: float64(s.Postpones())})
+			emit(telemetry.Sample{Desc: telemetry.DescBPTimeouts, Labels: labels, Value: float64(s.Timeouts())})
+			emit(telemetry.Sample{Desc: telemetry.DescBPHits, Labels: labels, Value: float64(s.Hits())})
+			emit(telemetry.Sample{Desc: telemetry.DescBPPanics, Labels: labels, Value: float64(s.Panics())})
+			emit(telemetry.Sample{Desc: telemetry.DescBPSheds, Labels: labels, Value: float64(s.Sheds())})
+			emit(telemetry.Sample{Desc: telemetry.DescBPBreakerTrips, Labels: labels, Value: float64(s.Trips())})
+			emit(telemetry.Sample{Desc: telemetry.DescBPBreakerRearms, Labels: labels, Value: float64(s.Rearms())})
+			if br, ok := e.BreakerSnapshot(name); ok {
+				emit(telemetry.Sample{Desc: telemetry.DescBPBreakerState, Labels: labels,
+					Value: float64(br.State)})
+			}
+			snap := s.Snapshot()
+			if snap.WaitCount > 0 {
+				hist := &telemetry.HistSample{
+					BucketCounts: make([]uint64, len(snap.WaitHist)),
+					Sum:          snap.TotalWait.Seconds(),
+					Count:        uint64(snap.WaitCount),
+				}
+				for i, n := range snap.WaitHist {
+					hist.BucketCounts[i] = uint64(n)
+				}
+				emit(telemetry.Sample{Desc: telemetry.DescBPWait, Labels: labels, Hist: hist})
+			}
+			emit(telemetry.Sample{Desc: telemetry.DescBPMaxWait, Labels: labels,
+				Value: snap.MaxWait.Seconds()})
+			if !snap.LastHit.IsZero() {
+				emit(telemetry.Sample{Desc: telemetry.DescBPLastHit, Labels: labels,
+					Value: float64(snap.LastHit.UnixNano()) / 1e9})
+			}
+		}
+
+		for kind, n := range e.IncidentCounts() {
+			emit(telemetry.Sample{Desc: telemetry.DescIncidents, Labels: []string{kind}, Value: float64(n)})
+		}
+	})
+}
+
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -443,10 +443,20 @@ func recoverDir(dir string, repair bool) (dirState, error) {
 			}
 			st.sealed = append(st.sealed, sealed)
 		case !last:
-			// An unsealed segment with a successor cannot occur under
-			// the rotation protocol (seal-then-create); finding one
-			// means the directory was tampered with or mixed up.
-			return st, fmt.Errorf("%w: unsealed segment %s is followed by %s", ErrCorrupt, segName(seq), segName(seqs[i+1]))
+			// An unsealed segment with a successor cannot survive a
+			// crash under the rotation protocol (seal-then-create) —
+			// but a read-only Replay racing a LIVE writer can observe
+			// it: the manifest was read before the writer sealed this
+			// segment, the listing after it created the successor. The
+			// successor's existence proves the segment was completely
+			// written and fsynced first, so when the scan agrees
+			// (clean to EOF) Replay accepts it as sealed-by-race.
+			// Open (repair=true) keeps the strict check: it owns the
+			// directory, so nobody may be writing, and tampering must
+			// not be repaired over.
+			if repair || !scan.clean() {
+				return st, fmt.Errorf("%w: unsealed segment %s is followed by %s", ErrCorrupt, segName(seq), segName(seqs[i+1]))
+			}
 		default:
 			// The unsealed tail: valid prefix survives, damage past it
 			// is the crash's torn tail.

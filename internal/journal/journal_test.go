@@ -339,3 +339,100 @@ func TestSegNameRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayWhileWriterRotates races read-only Replay against a live
+// writer crossing segment boundaries. A replayer that catches the
+// rotation mid-flight (manifest read before the seal, listing after the
+// successor appeared) must accept the completed segment, not report
+// corruption; every snapshot must be a clean ordered prefix of the
+// final record sequence.
+func TestReplayWhileWriterRotates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	// Tiny segments so the writer rotates constantly under the reader.
+	j, err := Open(Options{Dir: dir, Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 400
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			if _, err := j.Append([]byte(fmt.Sprintf(`{"record":%d}`, i))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	replays := 0
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		var n int
+		_, err := Replay(dir, func(lsn uint64, p []byte) error {
+			if lsn != uint64(n+1) {
+				return fmt.Errorf("lsn %d after %d records", lsn, n)
+			}
+			want := fmt.Sprintf(`{"record":%d}`, n)
+			if string(p) != want {
+				return fmt.Errorf("record %d = %q, want %q", n, p, want)
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay #%d against live writer: %v", replays, err)
+		}
+		replays++
+	}
+	<-done
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := collect(t, dir)
+	if len(got) != total {
+		t.Fatalf("final replay has %d records, want %d", len(got), total)
+	}
+	if info.Segments < 2 {
+		t.Fatalf("only %d segment(s): rotation never raced (shrink SegmentBytes)", info.Segments)
+	}
+}
+
+// TestOpenStillRejectsUnsealedWithSuccessor pins the strict side of the
+// live-rotation relaxation: Open owns the directory, so an unsealed
+// segment with a successor remains corruption there even when the
+// segment scans clean.
+func TestOpenStillRejectsUnsealedWithSuccessor(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(Options{Dir: dir, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads(6) {
+		if _, err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge the race artifact: drop the manifest, so every sealed
+	// segment looks unsealed while successors exist.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open accepted an unsealed segment with a successor")
+	}
+	// Replay tolerates the same shape: clean segments, successors
+	// present — indistinguishable from catching a live rotation.
+	if _, err := Replay(dir, func(uint64, []byte) error { return nil }); err != nil {
+		t.Fatalf("read-only replay rejected clean unsealed segments: %v", err)
+	}
+}

@@ -99,3 +99,86 @@ func TestSinkDetached(t *testing.T) {
 		t.Fatalf("engine incident count = %d, want 2 (detach must not drop in-memory log)", got)
 	}
 }
+
+// TestReplayWhileEngineAppends replays the sink journal repeatedly
+// while a live engine is still appending through it: every snapshot
+// must be a clean, typed record prefix (no parse errors, no unknown
+// kinds, LSNs dense from 1), and the final post-Close replay must hold
+// everything the engine emitted.
+func TestReplayWhileEngineAppends(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sink")
+	s, err := Open(dir, journal.SyncInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine()
+	e.SetDurableSink(s)
+
+	const pairs = 40
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < pairs; i++ {
+			obj := new(int)
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				e.TriggerHere(core.NewConflictTrigger("sink.race", obj), true, core.Options{})
+			}()
+			go func() {
+				defer wg.Done()
+				e.TriggerHere(core.NewConflictTrigger("sink.race", obj), false, core.Options{})
+			}()
+			wg.Wait()
+			e.RecordIncident(guard.KindStall, "sink.race", 0, "concurrent replay probe")
+		}
+	}()
+
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		var lsn uint64
+		if _, err := Replay(dir, func(en Entry) error {
+			lsn++
+			if en.LSN != lsn {
+				t.Fatalf("LSN %d after %d records", en.LSN, lsn-1)
+			}
+			if (en.Event == nil) == (en.Incident == nil) {
+				t.Fatalf("record %d is not exactly one of event/incident: %+v", en.LSN, en)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("replay against live engine: %v", err)
+		}
+	}
+	<-done
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, incidents := 0, 0
+	if _, err := Replay(dir, func(en Entry) error {
+		if en.Event != nil {
+			events++
+		} else {
+			incidents++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if incidents != pairs {
+		t.Fatalf("replayed %d incidents, want %d", incidents, pairs)
+	}
+	// Each rendezvous logs at least arrived+arrived+hit.
+	if events < 3*pairs {
+		t.Fatalf("replayed only %d events for %d rendezvous pairs", events, pairs)
+	}
+}

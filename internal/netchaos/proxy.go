@@ -11,6 +11,8 @@ import (
 
 // Config parameterizes a Proxy.
 type Config struct {
+	// ListenAddr is the proxy's listen address (default "127.0.0.1:0").
+	ListenAddr string
 	// Seed drives the fault schedule; derive it from the appkit jitter
 	// stream (appkit.JitterSeed) so chaos replays under the trial seed.
 	Seed int64
@@ -49,9 +51,13 @@ type Proxy struct {
 	wg sync.WaitGroup
 }
 
-// Start listens on 127.0.0.1:0 and proxies to upstream under cfg.
+// Start listens on cfg.ListenAddr (default 127.0.0.1:0) and proxies to
+// upstream under cfg.
 func Start(upstream string, cfg Config) (*Proxy, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("netchaos: listen: %w", err)
 	}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders gathered samples in the Prometheus text exposition
+// format (version 0.0.4): one `# HELP` / `# TYPE` header per metric
+// family followed by its samples, histograms expanded into cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`. The renderer is
+// stdlib-only by constraint; the subset emitted here is what any
+// Prometheus-compatible scraper parses.
+
+// WritePrometheus gathers the registry and writes the text exposition.
+// Families appear in catalog order (then first-seen order for any
+// descriptor outside the catalog), samples within a family in sorted
+// label order, so consecutive scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+
+	// Group samples by descriptor, preserving catalog order.
+	order := make([]*Desc, 0, len(samples))
+	rank := make(map[*Desc]int)
+	for _, d := range Catalog() {
+		rank[d] = len(rank)
+		order = append(order, d)
+	}
+	byDesc := make(map[*Desc][]Sample)
+	for _, s := range samples {
+		if s.Desc == nil {
+			continue
+		}
+		if _, ok := rank[s.Desc]; !ok {
+			rank[s.Desc] = len(rank)
+			order = append(order, s.Desc)
+		}
+		byDesc[s.Desc] = append(byDesc[s.Desc], s)
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, d := range order {
+		fam := byDesc[d]
+		if len(fam) == 0 {
+			continue
+		}
+		sort.SliceStable(fam, func(i, j int) bool {
+			return lessLabels(fam[i].Labels, fam[j].Labels)
+		})
+		bw.WriteString("# HELP ")
+		bw.WriteString(d.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(d.Help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(d.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(d.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range fam {
+			if d.Kind == HistogramKind && s.Hist != nil {
+				writeHistogram(bw, d, s)
+				continue
+			}
+			writeSample(bw, d.Name, d.Labels, s.Labels, "", "", s.Value)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeHistogram expands one histogram sample into its cumulative
+// bucket, sum, and count series.
+func writeHistogram(bw *bufio.Writer, d *Desc, s Sample) {
+	var cum uint64
+	for i, bound := range d.Buckets {
+		if i < len(s.Hist.BucketCounts) {
+			cum += s.Hist.BucketCounts[i]
+		}
+		writeSample(bw, d.Name+"_bucket", d.Labels, s.Labels,
+			"le", formatFloat(bound), float64(cum))
+	}
+	writeSample(bw, d.Name+"_bucket", d.Labels, s.Labels,
+		"le", "+Inf", float64(s.Hist.Count))
+	writeSample(bw, d.Name+"_sum", d.Labels, s.Labels, "", "", s.Hist.Sum)
+	writeSample(bw, d.Name+"_count", d.Labels, s.Labels, "", "", float64(s.Hist.Count))
+}
+
+// writeSample writes one exposition line, appending an extra label pair
+// (histogram le) when extraName is non-empty.
+func writeSample(bw *bufio.Writer, name string, labelNames, labelValues []string, extraName, extraValue string, v float64) {
+	bw.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, ln := range labelNames {
+			lv := ""
+			if i < len(labelValues) {
+				lv = labelValues[i]
+			}
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(ln)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(lv))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraValue))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+func lessLabels(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

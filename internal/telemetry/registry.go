@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the registry: the binding between the metric catalog and
+// live values. Metrics are *pulled* — a collector is a closure that
+// reads existing engine state (atomic counters on shards, gauge loads)
+// at scrape time and emits samples, so registering telemetry costs the
+// trigger hot path nothing. The only push-shaped metrics are the
+// stream counters a wired bus tap maintains (records by kind, wait-graph
+// verdicts, trial outcomes), and those touch one atomic or — for the
+// rare record kinds — one small mutex-guarded map per record.
+
+// Sample is one collected metric value.
+type Sample struct {
+	// Desc is the catalog descriptor this sample instantiates.
+	Desc *Desc
+	// Labels are the label values, parallel to Desc.Labels.
+	Labels []string
+	// Value is the counter or gauge value (unused for histograms).
+	Value float64
+	// Hist is the histogram payload (nil for counters and gauges).
+	Hist *HistSample
+}
+
+// HistSample is one collected histogram.
+type HistSample struct {
+	// BucketCounts are per-bucket (non-cumulative) observation counts,
+	// parallel to Desc.Buckets; observations above the last bound are in
+	// Count but no bucket.
+	BucketCounts []uint64
+	// Sum is the sum of all observations.
+	Sum float64
+	// Count is the total observation count.
+	Count uint64
+}
+
+// Collector emits zero or more samples when the registry gathers. It
+// must be safe for concurrent use and must not block on engine locks —
+// read atomics and snapshots, never arrival paths.
+type Collector func(emit func(Sample))
+
+// Registry gathers samples from registered collectors and renders them.
+// The zero value is not usable; create registries with NewRegistry. All
+// methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// RegisterCollector adds a collector. Collectors run in registration
+// order at every Gather.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather runs every collector and returns the combined samples.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	cs := make([]Collector, len(r.collectors))
+	copy(cs, r.collectors)
+	r.mu.Unlock()
+	var out []Sample
+	for _, c := range cs {
+		c(func(s Sample) { out = append(out, s) })
+	}
+	return out
+}
+
+// CounterVec is a labeled counter family for *rare* increments
+// (wait-graph verdicts, trial outcomes): a mutex-guarded map keyed by
+// the joined label values. It is not for hot-path counting — hot counts
+// live in the engine's own atomics and are collected at scrape time.
+type CounterVec struct {
+	desc *Desc
+	mu   sync.Mutex
+	m    map[string]*vecEntry
+}
+
+type vecEntry struct {
+	labels []string
+	n      int64
+}
+
+// NewCounterVec returns an empty counter family for desc.
+func NewCounterVec(desc *Desc) *CounterVec {
+	return &CounterVec{desc: desc, m: make(map[string]*vecEntry)}
+}
+
+// Add increments the series addressed by the label values (which must
+// match desc.Labels in number and order).
+func (v *CounterVec) Add(delta int64, labelValues ...string) {
+	key := joinKey(labelValues)
+	v.mu.Lock()
+	e := v.m[key]
+	if e == nil {
+		e = &vecEntry{labels: append([]string(nil), labelValues...)}
+		v.m[key] = e
+	}
+	e.n += delta
+	v.mu.Unlock()
+}
+
+// Collect emits one sample per series, in stable (sorted-key) order.
+func (v *CounterVec) Collect(emit func(Sample)) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	samples := make([]Sample, 0, len(keys))
+	for _, k := range keys {
+		e := v.m[k]
+		samples = append(samples, Sample{Desc: v.desc, Labels: e.labels, Value: float64(e.n)})
+	}
+	v.mu.Unlock()
+	for _, s := range samples {
+		emit(s)
+	}
+}
+
+// joinKey builds a collision-free map key from label values (0x1f does
+// not occur in the engine's label vocabulary, and a collision would only
+// merge two counter series anyway).
+func joinKey(vals []string) string {
+	switch len(vals) {
+	case 0:
+		return ""
+	case 1:
+		return vals[0]
+	}
+	n := len(vals) - 1
+	for _, v := range vals {
+		n += len(v)
+	}
+	b := make([]byte, 0, n)
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, 0x1f)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// busTap is the counting tap WireBus attaches: per-kind record totals in
+// a fixed atomic array (events and incidents arrive at engine rate), and
+// label-fanned families for the rare kinds.
+type busTap struct {
+	counts  [NumRecordKinds]atomic.Int64
+	reports *CounterVec
+	trials  *CounterVec
+}
+
+// Deliver implements Tap.
+func (t *busTap) Deliver(rec Record) {
+	if k := int(rec.Kind); k >= 0 && k < NumRecordKinds {
+		t.counts[k].Add(1)
+	}
+	switch rec.Kind {
+	case RecordReport:
+		t.reports.Add(1, rec.Report.Kind)
+	case RecordTrial:
+		t.trials.Add(1, rec.Trial.Table, rec.Trial.Variant, rec.Trial.Status)
+	}
+}
+
+// WireBus attaches a counting tap to the bus and registers the
+// stream-derived collectors on the registry: records by kind
+// (cbreak_bus_records_total), wait-graph verdicts
+// (cbreak_waitgraph_reports_total), trial outcomes (cbreak_trials_total),
+// and the bus's drop counter labeled with name
+// (cbreak_bus_dropped_total). It returns the tap handle so a consumer
+// that outlives the bus can detach.
+func (r *Registry) WireBus(name string, bus *Bus) *TapHandle {
+	t := &busTap{
+		reports: NewCounterVec(DescWaitgraphReports),
+		trials:  NewCounterVec(DescTrials),
+	}
+	h := bus.AttachTap(t)
+	r.RegisterCollector(func(emit func(Sample)) {
+		for k := 0; k < NumRecordKinds; k++ {
+			emit(Sample{Desc: DescBusRecords,
+				Labels: []string{RecordKind(k).String()},
+				Value:  float64(t.counts[k].Load())})
+		}
+		t.reports.Collect(emit)
+		t.trials.Collect(emit)
+		emit(Sample{Desc: DescBusDropped, Labels: []string{name},
+			Value: float64(bus.Dropped())})
+	})
+	return h
+}

@@ -7,6 +7,7 @@ import (
 
 	"cbreak/internal/core"
 	"cbreak/internal/guard"
+	"cbreak/internal/telemetry"
 )
 
 // Config tunes a Supervisor. The zero value is usable: 5ms scans,
@@ -229,7 +230,37 @@ func (s *Supervisor) act(r Report) {
 			"wait-graph deadlock confirmed: "+r.Desc)
 		s.confirmedOnce.Do(func() { close(s.confirmed) })
 	}
+	// Publish the finding on the engine's telemetry bus — the same
+	// fan-out the durable sink and live streams consume, replacing the
+	// OnReport-only reporting path (OnReport stays as an in-process
+	// hook). The bus shape is the flattened telemetry.Report; the full
+	// structured finding remains available from Reports().
+	s.e.Bus().Publish(telemetry.Record{Kind: telemetry.RecordReport,
+		Report: r.telemetryReport()})
 	if s.cfg.OnReport != nil {
 		s.cfg.OnReport(r)
 	}
+}
+
+// telemetryReport flattens the finding into the bus shape
+// (telemetry.Report sits below this package in the import graph).
+func (r Report) telemetryReport() telemetry.Report {
+	return telemetry.Report{
+		When:        time.Now(),
+		Kind:        string(r.Kind),
+		Desc:        r.Desc,
+		Breakpoints: append([]string(nil), r.Breakpoints...),
+		GIDs:        append([]uint64(nil), r.GIDs...),
+		Victim:      r.Victim,
+	}
+}
+
+// RegisterMetrics registers the supervisor's catalog collector on reg:
+// the scan counter (confirmed-finding totals are counted off the bus by
+// telemetry.Registry.WireBus, which sees every act()).
+func (s *Supervisor) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCollector(func(emit func(telemetry.Sample)) {
+		emit(telemetry.Sample{Desc: telemetry.DescWaitgraphScans,
+			Value: float64(s.Scans())})
+	})
 }
