@@ -24,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"time"
@@ -94,6 +95,15 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
+		// Preflight the target under the attempt timeout (the tightest
+		// bound in the AttemptTimeout ≤ RequestTimeout hierarchy): a
+		// down daemon fails the run in one clear line instead of every
+		// client burning its full retry schedule against a dead socket.
+		conn, err := net.DialTimeout("tcp", *connect, *attemptTimeout)
+		if err != nil {
+			fatal("target %s is unreachable: %v (is cbserverd running? check its /status proxy_addr)", *connect, err)
+		}
+		conn.Close()
 		rep := netchaos.RunLoad(netchaos.LoadConfig{
 			Addr: *connect, Seed: appkit.JitterSeed(),
 			Clients: *clients, Requests: *requests,

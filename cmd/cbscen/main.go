@@ -1,0 +1,80 @@
+// Command cbscen runs the process-chaos scenario suite against a real
+// cbserverd binary: supervised worker processes are SIGKILLed,
+// SIGSTOPped, crash-looped, partitioned from their load, and hit with
+// disk faults under their durable journals, and every recovery claim is
+// verified from the outside — /metrics, /status, live sockets, and the
+// journals themselves. Artifacts (daemon logs, journal directories) are
+// kept per scenario for post-mortem upload.
+//
+// Usage:
+//
+//	cbscen -list
+//	cbscen -run all -artifacts scen-artifacts
+//	cbscen -run multiproc-deadlock-sigkill,crashloop-quarantine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cbreak/internal/scenario"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	run := flag.String("run", "all", "comma-separated scenario names, or all")
+	artifacts := flag.String("artifacts", "cbscen-artifacts", "artifact directory (logs, journals; one subdirectory per scenario)")
+	bin := flag.String("bin", "", "prebuilt cbserverd binary (default: go build it into the artifact directory)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenario.All() {
+			fmt.Printf("%-28s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+
+	var picked []scenario.Scenario
+	if *run == "all" {
+		picked = scenario.All()
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			s, ok := scenario.Find(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cbscen: unknown scenario %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, s)
+		}
+	}
+
+	binary := *bin
+	if binary == "" {
+		b, err := scenario.BuildDaemon(*artifacts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbscen: %v\n", err)
+			os.Exit(2)
+		}
+		binary = b
+	}
+
+	failed := 0
+	for _, s := range picked {
+		fmt.Printf("=== %s\n", s.Name)
+		start := time.Now()
+		err := scenario.RunOne(s, binary, *artifacts, os.Stdout)
+		if err != nil {
+			failed++
+			fmt.Printf("--- FAIL %s (%.1fs): %v\n", s.Name, time.Since(start).Seconds(), err)
+		} else {
+			fmt.Printf("--- PASS %s (%.1fs)\n", s.Name, time.Since(start).Seconds())
+		}
+	}
+	fmt.Printf("cbscen: %d/%d scenarios passed (artifacts in %s)\n", len(picked)-failed, len(picked), *artifacts)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -12,11 +12,13 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"cbreak/internal/apps/appboot"
 	"cbreak/internal/core"
 	"cbreak/internal/guard"
+	"cbreak/internal/journal/sink"
 	"cbreak/internal/netchaos"
 	"cbreak/internal/telemetry"
 	"cbreak/internal/waitgraph"
@@ -24,12 +26,49 @@ import (
 
 // daemon is the serving state shared by every admin handler.
 type daemon struct {
-	e       *core.Engine
-	sup     *waitgraph.Supervisor
-	reg     *telemetry.Registry
-	app     *appboot.App
-	px      *netchaos.Proxy
-	started time.Time
+	e        *core.Engine
+	sup      *waitgraph.Supervisor
+	reg      *telemetry.Registry
+	hosts    *appboot.Supervisor
+	specs    []appboot.Spec
+	front    *appboot.Host // the host the chaos proxy targets
+	px       *netchaos.Proxy
+	snk      *sink.Sink // nil without -durable-events
+	started  time.Time
+	draining atomic.Bool
+}
+
+// frontApp returns the front host's in-process App (nil in -supervise
+// mode, where counters live in the worker's own journal and /metrics).
+func (d *daemon) frontApp() *appboot.App {
+	if inst := d.front.Instance(); inst != nil {
+		return appboot.InstanceApp(inst)
+	}
+	return nil
+}
+
+// bugFor looks up the armed bug for an app name.
+func (d *daemon) bugFor(app string) string {
+	for _, s := range d.specs {
+		if s.App == app {
+			return s.Bug
+		}
+	}
+	return ""
+}
+
+// shedding reports whether the engine's overload policy has the accept
+// loops shedding right now — the postponed population is at or above
+// the global high-water mark.
+func (d *daemon) shedding() (string, bool) {
+	ov, ok := d.e.Overload()
+	if !ok || ov.GlobalHighWater <= 0 {
+		return "", false
+	}
+	if pop := d.e.PostponedTotal(); pop >= int64(ov.GlobalHighWater) {
+		return fmt.Sprintf("postponed population %d at high water %d", pop, ov.GlobalHighWater), true
+	}
+	return "", false
 }
 
 // Serving-layer metric descriptors: app and proxy counters that live
@@ -48,13 +87,25 @@ var (
 )
 
 // registerServingMetrics adds the app/proxy collectors to the registry.
+// Served/shed counters are visible only for in-process apps; supervised
+// worker processes account their own serving in their own journals,
+// while their supervision (state, restarts, crashes, quarantines) is
+// exported here by the host supervisor's collector.
 func (d *daemon) registerServingMetrics(reg *telemetry.Registry) {
 	reg.RegisterCollector(func(emit func(telemetry.Sample)) {
 		emit(telemetry.Sample{Desc: &descUptime, Value: time.Since(d.started).Seconds()})
-		emit(telemetry.Sample{Desc: &descAppServed,
-			Labels: []string{d.app.Name}, Value: float64(d.app.Served())})
-		emit(telemetry.Sample{Desc: &descAppShed,
-			Labels: []string{d.app.Name}, Value: float64(d.app.ShedCount())})
+		for _, h := range d.hosts.Hosts() {
+			inst := h.Instance()
+			if inst == nil {
+				continue
+			}
+			if app := appboot.InstanceApp(inst); app != nil {
+				emit(telemetry.Sample{Desc: &descAppServed,
+					Labels: []string{app.Name}, Value: float64(app.Served())})
+				emit(telemetry.Sample{Desc: &descAppShed,
+					Labels: []string{app.Name}, Value: float64(app.ShedCount())})
+			}
+		}
 		emit(telemetry.Sample{Desc: &descProxyConns, Value: float64(d.px.Connections())})
 		for _, k := range netchaos.Kinds() {
 			emit(telemetry.Sample{Desc: &descProxyFaults,
@@ -66,7 +117,8 @@ func (d *daemon) registerServingMetrics(reg *telemetry.Registry) {
 // mux routes the admin API.
 func (d *daemon) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+	m.HandleFunc("/healthz", d.handleHealthz)
+	m.HandleFunc("/readyz", d.handleReadyz)
 	m.HandleFunc("/metrics", d.handleMetrics)
 	m.HandleFunc("/stream", d.handleStream)
 	m.HandleFunc("/status", d.handleStatus)
@@ -79,7 +131,75 @@ func (d *daemon) mux() *http.ServeMux {
 	m.HandleFunc("/waiters", d.handleWaiters)
 	m.HandleFunc("/incidents", d.handleIncidents)
 	m.HandleFunc("/reports", d.handleReports)
+	m.HandleFunc("/chaos/partition", d.handlePartition)
+	m.HandleFunc("/apps/revive", d.handleRevive)
 	return m
+}
+
+// handleHealthz is honest liveness: 503 while the daemon is draining
+// (a balancer must stop sending load the drain will sever) and 503
+// while the overload policy has the accept loops shedding (the daemon
+// is alive but refusing the very work a health-checked pool would
+// route to it). Plain 200 "ok" otherwise.
+func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if reason, shed := d.shedding(); shed {
+		http.Error(w, "shedding: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz gates readiness on the hosted apps: 200 only when every
+// supervised app is up (not restarting, not quarantined) and the daemon
+// is not draining.
+func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !d.hosts.AllUp() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "apps": d.hosts.Statuses()})
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handlePartition severs the chaos proxy for a window: every live
+// proxied connection is reset and new ones are refused until the window
+// closes — the network-partition scenario's trigger.
+func (d *daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	dur, err := time.ParseDuration(r.FormValue("duration"))
+	if err != nil || dur <= 0 {
+		http.Error(w, "duration required (e.g. ?duration=2s)", http.StatusBadRequest)
+		return
+	}
+	dropped := d.px.ForcePartition(dur)
+	writeJSON(w, map[string]any{"partition_for": dur.String(), "dropped_connections": dropped})
+}
+
+// handleRevive lifts a quarantine on the named app.
+func (d *daemon) handleRevive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	h := d.hosts.Host(r.FormValue("name"))
+	if h == nil {
+		http.Error(w, "unknown app (see /status)", http.StatusBadRequest)
+		return
+	}
+	h.Revive()
+	writeJSON(w, map[string]any{"app": r.FormValue("name"), "state": h.State().String()})
 }
 
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -117,22 +237,40 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 
 func (d *daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 	ov, ovSet := d.e.Overload()
+	// Per-app supervision rows, with the armed bug joined in.
+	type appStatus struct {
+		appboot.HostStatus
+		Bug string `json:"bug"`
+	}
+	hostRows := d.hosts.Statuses()
+	rows := make([]appStatus, 0, len(hostRows))
+	for _, hs := range hostRows {
+		rows = append(rows, appStatus{HostStatus: hs, Bug: d.bugFor(hs.Name)})
+	}
 	st := map[string]any{
-		"app":            d.app.Name,
-		"bug":            d.app.Bug,
-		"app_addr":       d.app.Addr,
+		// Legacy single-app keys describe the front app (what the proxy
+		// targets); the full supervisor picture is under "apps".
+		"app":            d.front.Status().Name,
+		"bug":            d.bugFor(d.front.Status().Name),
+		"app_addr":       d.front.Addr(),
+		"apps":           rows,
+		"ready":          d.hosts.AllUp() && !d.draining.Load(),
+		"draining":       d.draining.Load(),
+		"supervised":     true,
 		"proxy_addr":     d.px.Addr(),
 		"uptime_seconds": time.Since(d.started).Seconds(),
 		"engine_enabled": d.e.Enabled(),
 		"postponed":      d.e.PostponedTotal(),
-		"served":         d.app.Served(),
-		"shed":           d.app.ShedCount(),
 		"proxy_conns":    d.px.Connections(),
 		"proxy_faults":   d.px.TotalFaults(),
 		"watchdog":       d.e.WatchdogRunning(),
 		"durable_sink":   d.e.DurableSinkInstalled(),
 		"scans":          d.sup.Scans(),
 		"bus_dropped":    d.e.Bus().Dropped(),
+	}
+	if app := d.frontApp(); app != nil {
+		st["served"] = app.Served()
+		st["shed"] = app.ShedCount()
 	}
 	if ovSet {
 		st["overload"] = ov

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,32 +11,57 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"cbreak/internal/apps/appboot"
 	"cbreak/internal/core"
+	"cbreak/internal/guard"
 	"cbreak/internal/netchaos"
 	"cbreak/internal/telemetry"
 	"cbreak/internal/waitgraph"
 )
 
-// startDaemon boots the full serving stack (engine, supervisor, httpd
-// app, transparent chaos proxy, admin mux) on ephemeral ports.
+// startDaemon boots the full serving stack (engine, wait-graph
+// supervisor, a supervised in-process httpd host, transparent chaos
+// proxy, admin mux) on ephemeral ports.
 func startDaemon(t *testing.T) (*daemon, *httptest.Server) {
+	t.Helper()
+	d := buildDaemon(t)
+	ts := httptest.NewServer(d.mux())
+	t.Cleanup(ts.Close)
+	return d, ts
+}
+
+// buildDaemon assembles the daemon without an admin listener (tests
+// that need a real http.Server attach their own). Tweaks adjust the
+// host supervision config (probing is off by default for test speed).
+func buildDaemon(t *testing.T, tweaks ...func(*appboot.HostConfig)) *daemon {
 	t.Helper()
 	e := core.NewEngine()
 	sup := waitgraph.New(e, waitgraph.Config{})
 	sup.Start()
 	t.Cleanup(sup.Stop)
 
-	app, err := appboot.Start(e, "httpd", "none", 10*time.Millisecond, "")
-	if err != nil {
+	spec := appboot.Spec{App: "httpd", Bug: "none", Pause: 10 * time.Millisecond}
+	hosts := appboot.NewSupervisor()
+	cfg := appboot.HostConfig{
+		Name: "httpd", Launch: appboot.InProcLauncher(e, spec),
+		ProbeInterval: -1, Seed: 1,
+	}
+	for _, tweak := range tweaks {
+		tweak(&cfg)
+	}
+	hosts.Add(cfg)
+	if err := hosts.StartAll(); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { app.Close() })
+	t.Cleanup(hosts.StopAll)
+	front := hosts.Host("httpd")
 
-	px, err := netchaos.Start(app.Addr, netchaos.Config{Seed: 1})
+	px, err := netchaos.Start(front.Addr(), netchaos.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,12 +70,12 @@ func startDaemon(t *testing.T) (*daemon, *httptest.Server) {
 	reg := telemetry.NewRegistry()
 	e.RegisterMetrics(reg)
 	sup.RegisterMetrics(reg)
+	hosts.RegisterMetrics(reg)
 	reg.WireBus("engine", e.Bus())
-	d := &daemon{e: e, sup: sup, reg: reg, app: app, px: px, started: time.Now()}
+	d := &daemon{e: e, sup: sup, reg: reg, hosts: hosts, specs: []appboot.Spec{spec},
+		front: front, px: px, started: time.Now()}
 	d.registerServingMetrics(reg)
-	ts := httptest.NewServer(d.mux())
-	t.Cleanup(ts.Close)
-	return d, ts
+	return d
 }
 
 func get(t *testing.T, ts *httptest.Server, path string) string {
@@ -171,6 +197,303 @@ func TestAdminSurface(t *testing.T) {
 	get(t, ts, "/waiters")
 	get(t, ts, "/incidents")
 	get(t, ts, "/reports")
+}
+
+// TestHealthzHonest: /healthz answers 200 normally, 503 while the
+// overload policy has accept loops shedding, and 503 while draining —
+// a balancer must never route load a shedding or draining daemon will
+// refuse.
+func TestHealthzHonest(t *testing.T) {
+	d, ts := startDaemon(t)
+	if got := get(t, ts, "/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("healthz = %q", got)
+	}
+
+	// Shedding: install a high-water of 1 and park one goroutine
+	// postponed at a breakpoint — the same condition the accept loops
+	// shed on.
+	d.e.SetOverloadConfig(&core.OverloadConfig{GlobalHighWater: 1})
+	obj := new(int)
+	release := make(chan struct{})
+	go func() {
+		d.e.TriggerOutcome(core.NewConflictTrigger("hz.bp", obj), true,
+			core.Options{Timeout: 5 * time.Second})
+		close(release)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for d.e.PostponedTotal() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "shedding") {
+		t.Fatalf("healthz while shedding = %d %q, want 503 shedding", resp.StatusCode, body)
+	}
+	d.e.ForceRelease("hz.bp", d.e.PostponedWaiters()[0].GID, guard.KindWatchdogRelease, "test cleanup")
+	<-release
+	d.e.SetOverloadConfig(nil)
+	if got := get(t, ts, "/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("healthz after release = %q", got)
+	}
+
+	// Draining beats everything.
+	d.draining.Store(true)
+	defer d.draining.Store(false)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp, err = http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestReadyzSelfHealing kills the hosted app's socket out from under
+// the supervisor: probes notice, the host restarts the app on its
+// pinned address, /readyz dips to 503 and recovers, and the restart
+// lands in the supervisor counter family on /metrics.
+func TestReadyzSelfHealing(t *testing.T) {
+	d := buildDaemon(t, func(cfg *appboot.HostConfig) {
+		cfg.ProbeInterval = 10 * time.Millisecond
+		cfg.ProbeTimeout = 100 * time.Millisecond
+		cfg.ProbeFailures = 2
+		cfg.RestartBackoff = 20 * time.Millisecond
+		cfg.MaxRestartBackoff = 50 * time.Millisecond
+	})
+	ts := httptest.NewServer(d.mux())
+	t.Cleanup(ts.Close)
+	if got := get(t, ts, "/readyz"); !strings.Contains(got, "ready") {
+		t.Fatalf("readyz = %q", got)
+	}
+
+	// Kill the app's listener directly (not through the host): the
+	// supervisor must discover the wedge by probing.
+	d.front.Instance().Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	sawDown := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			sawDown = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDown {
+		t.Fatal("readyz never reported the killed app")
+	}
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp := roundtrip(t, d.front.Addr(), "GET /healed"); !strings.HasPrefix(resp, "200 ") {
+		t.Fatalf("restarted app answered %q", resp)
+	}
+	if m := get(t, ts, "/metrics"); !strings.Contains(m, `cbreak_supervisor_restarts_total{app="httpd"}`) {
+		t.Fatalf("metrics missing supervisor restart counter:\n%s", m)
+	}
+	var status map[string]any
+	if err := json.Unmarshal([]byte(get(t, ts, "/status")), &status); err != nil {
+		t.Fatal(err)
+	}
+	apps := status["apps"].([]any)
+	if len(apps) != 1 {
+		t.Fatalf("status apps = %v", apps)
+	}
+	row := apps[0].(map[string]any)
+	if row["restarts"].(float64) < 1 || row["state"] != "up" {
+		t.Fatalf("status app row = %v, want restarts >= 1 and up", row)
+	}
+}
+
+// TestPartitionEndpoint: POST /chaos/partition severs proxied service
+// for the window, then service restores.
+func TestPartitionEndpoint(t *testing.T) {
+	d, ts := startDaemon(t)
+	if resp := roundtrip(t, d.px.Addr(), "GET /pre"); !strings.HasPrefix(resp, "200 ") {
+		t.Fatalf("pre-partition = %q", resp)
+	}
+	post(t, ts, "/chaos/partition", url.Values{"duration": {"400ms"}})
+	if _, err := tryRoundtrip(d.px.Addr(), "GET /during"); err == nil {
+		t.Fatal("request succeeded inside the partition window")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resp, err := tryRoundtrip(d.px.Addr(), "GET /after"); err == nil && strings.HasPrefix(resp, "200 ") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never restored after the partition window")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Bad requests are rejected.
+	resp, err := http.PostForm(ts.URL+"/chaos/partition", url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partition without duration = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestReviveEndpointValidation: unknown apps are a 400.
+func TestReviveEndpointValidation(t *testing.T) {
+	_, ts := startDaemon(t)
+	resp, err := http.PostForm(ts.URL+"/apps/revive", url.Values{"name": {"nope"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("revive unknown = %d, want 400", resp.StatusCode)
+	}
+}
+
+// tryRoundtrip is roundtrip without the test fatals.
+func tryRoundtrip(addr, req string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	fmt.Fprintf(conn, "%s\n", req)
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// TestShutdownOrderingUnderConcurrentAdmin is the drain regression
+// test: a real admin http.Server is shut down in exactly main's drain
+// order — draining flag, sink sync point, admin Shutdown, proxy close,
+// hosts stop, supervisor stop — while concurrent admin requests
+// (scrapes, status, a live NDJSON stream) hammer it. Run under -race
+// this pins the teardown against the serving paths; the draining flag
+// must be observable as /healthz 503 before admin intake stops.
+func TestShutdownOrderingUnderConcurrentAdmin(t *testing.T) {
+	d := buildDaemon(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: d.mux()}
+	serveDone := make(chan struct{})
+	go func() { srv.Serve(ln); close(serveDone) }()
+	base := "http://" + ln.Addr().String()
+
+	stopLoad := make(chan struct{})
+	var workers sync.WaitGroup
+	var drainRefusals atomic.Int64
+	for _, path := range []string{"/metrics", "/status", "/healthz", "/breakpoints", "/waiters"} {
+		workers.Add(1)
+		go func(path string) {
+			defer workers.Done()
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				resp, err := http.Get(base + path)
+				if err != nil {
+					return // listener gone: drain completed under us
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if path == "/healthz" && resp.StatusCode == http.StatusServiceUnavailable {
+					drainRefusals.Add(1)
+				}
+			}
+		}(path)
+	}
+	// One live stream subscriber: Shutdown must not wait forever on it
+	// (main bounds the drain and falls back to Close).
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		resp, err := http.Get(base + "/stream")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 256)
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	// Keep records flowing onto the bus during the whole drain.
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			d.e.RecordIncident(guard.KindStall, "drain.bp", uint64(i), "drain load")
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the load loops get going
+
+	// main's drain order.
+	d.draining.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for drainRefusals.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if drainRefusals.Load() == 0 {
+		t.Error("no /healthz 503 observed while draining with admin intake still open")
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		srv.Close()
+	}
+	d.px.Close()
+	d.hosts.StopAll()
+	d.sup.Stop()
+	close(stopLoad)
+	workers.Wait()
+	<-serveDone
+	for _, h := range d.hosts.Hosts() {
+		if h.State() != appboot.StateStopped {
+			t.Fatalf("host state %v after drain", h.State())
+		}
+	}
 }
 
 func TestStreamDeliversLiveRecords(t *testing.T) {

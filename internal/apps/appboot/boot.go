@@ -3,7 +3,11 @@
 // drivers that put them under load: cmd/cbload (one seeded chaos run)
 // and cmd/cbserverd (the always-on control plane). The package owns the
 // app/bug flag vocabulary so every driver arms the same reproductions
-// the same way.
+// the same way. On top of the boot layer sits a self-healing process
+// supervisor (supervisor.go): hosted apps can run as re-exec'd child
+// worker processes (worker.go, proc.go) that are health-probed,
+// restarted with jittered exponential backoff after crashes, and
+// quarantined instead of restarted forever when they crash-loop.
 package appboot
 
 import (
@@ -14,6 +18,27 @@ import (
 	"cbreak/internal/apps/mysql"
 	"cbreak/internal/core"
 )
+
+// Spec names one bootable app server: which reproduction, which bug is
+// armed, where it listens, and (httpd only) which mysql backend its
+// requests fan into.
+type Spec struct {
+	// App is the application to boot ("httpd" or "mysql").
+	App string
+	// Bug is the bug to arm ("none", "log-corruption" for httpd,
+	// "deadlock" for mysql).
+	Bug string
+	// Pause is the breakpoint pause time T from the paper's methodology.
+	Pause time.Duration
+	// Listen is the listen address (empty = ephemeral loopback port).
+	Listen string
+	// Backend, for httpd, wires every GET into a derived statement
+	// against this mysql address — the two-communicating-services
+	// topology the multi-process deadlock scenarios drive.
+	Backend string
+	// BackendTimeout bounds one backend round trip (default 2s).
+	BackendTimeout time.Duration
+}
 
 // App is one running socket server behind an app-agnostic surface.
 type App struct {
@@ -31,49 +56,56 @@ type App struct {
 	ShedCount func() int64
 }
 
-// Start boots the named app server on listen (empty = ephemeral
-// loopback port) with the named bug armed against e. Recognized pairs:
+// StartApp boots the spec'd app server against e. Recognized app/bug
+// pairs:
 //
 //	httpd: none, log-corruption
 //	mysql: none, deadlock
-//
-// pause is the breakpoint pause time T from the paper's methodology.
-func Start(e *core.Engine, app, bug string, pause time.Duration, listen string) (*App, error) {
-	switch app {
+func StartApp(e *core.Engine, spec Spec) (*App, error) {
+	switch spec.App {
 	case "httpd":
-		cfg := httpd.Config{Engine: e, Timeout: pause}
-		switch bug {
+		cfg := httpd.Config{Engine: e, Timeout: spec.Pause}
+		switch spec.Bug {
 		case "none":
 			cfg.Bug, cfg.Breakpoint = httpd.LogCorruption, false
 		case "log-corruption":
 			cfg.Bug, cfg.Breakpoint = httpd.LogCorruption, true
 		default:
-			return nil, fmt.Errorf("unknown httpd bug %q (want none or log-corruption)", bug)
+			return nil, fmt.Errorf("unknown httpd bug %q (want none or log-corruption)", spec.Bug)
 		}
-		ns, err := httpd.StartNet(cfg, httpd.NetConfig{Addr: listen})
+		ns, err := httpd.StartNet(cfg, httpd.NetConfig{
+			Addr: spec.Listen, Backend: spec.Backend, BackendTimeout: spec.BackendTimeout,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("httpd start: %w", err)
 		}
-		return &App{Name: app, Bug: bug, Addr: ns.Addr(),
+		return &App{Name: spec.App, Bug: spec.Bug, Addr: ns.Addr(),
 			Close: ns.Close, Served: ns.Served, ShedCount: ns.ShedCount}, nil
 	case "mysql":
-		cfg := mysql.Config{Engine: e, Timeout: pause, StallAfter: 30 * time.Second}
-		switch bug {
+		cfg := mysql.Config{Engine: e, Timeout: spec.Pause, StallAfter: 30 * time.Second}
+		switch spec.Bug {
 		case "none":
 			cfg.Bug, cfg.Breakpoint = mysql.Deadlock, false
 		case "deadlock":
 			cfg.Bug, cfg.Breakpoint = mysql.Deadlock, true
 		default:
-			return nil, fmt.Errorf("unknown mysql bug %q (want none or deadlock)", bug)
+			return nil, fmt.Errorf("unknown mysql bug %q (want none or deadlock)", spec.Bug)
 		}
-		ns, err := mysql.StartNet(cfg, mysql.NetConfig{Addr: listen})
+		ns, err := mysql.StartNet(cfg, mysql.NetConfig{Addr: spec.Listen})
 		if err != nil {
 			return nil, fmt.Errorf("mysql start: %w", err)
 		}
-		return &App{Name: app, Bug: bug, Addr: ns.Addr(),
+		return &App{Name: spec.App, Bug: spec.Bug, Addr: ns.Addr(),
 			Close: ns.Close, Served: ns.Served, ShedCount: ns.ShedCount}, nil
 	}
-	return nil, fmt.Errorf("unknown app %q (want httpd or mysql)", app)
+	return nil, fmt.Errorf("unknown app %q (want httpd or mysql)", spec.App)
+}
+
+// Start boots the named app server on listen (empty = ephemeral
+// loopback port) with the named bug armed against e — the historical
+// single-app entry point, kept as a thin wrapper over StartApp.
+func Start(e *core.Engine, app, bug string, pause time.Duration, listen string) (*App, error) {
+	return StartApp(e, Spec{App: app, Bug: bug, Pause: pause, Listen: listen})
 }
 
 // RequestGenerator returns the canonical load-request generator for the

@@ -1,0 +1,40 @@
+//go:build linux
+
+package appboot
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// workerSysProcAttr places each app worker in its own process group and
+// arms the parent-death signal — the campaign worker's belt-and-braces
+// answer to orphaned children, reused here for hosted app workers:
+//
+//   - Setpgid: the worker and everything it forks share a process
+//     group, so a supervisor kill reaches grandchildren too.
+//   - Pdeathsig: the kernel SIGKILLs the worker the moment its parent
+//     thread dies, so even `kill -9` of the daemon reaps the tree.
+func workerSysProcAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Setpgid: true, Pdeathsig: syscall.SIGKILL}
+}
+
+// terminateWorker delivers the graceful-drain signal (SIGTERM).
+func terminateWorker(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	return cmd.Process.Signal(syscall.SIGTERM)
+}
+
+// killWorkerTree kills the worker's whole process group (negative pid),
+// falling back to a direct kill if the group is already gone.
+func killWorkerTree(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err == nil {
+		return nil
+	}
+	return cmd.Process.Kill()
+}

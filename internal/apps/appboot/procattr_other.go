@@ -1,0 +1,33 @@
+//go:build !linux
+
+package appboot
+
+import (
+	"os"
+	"os/exec"
+	"syscall"
+)
+
+// workerSysProcAttr: no process-group/parent-death support wired on
+// this platform; workers are killed individually.
+func workerSysProcAttr() *syscall.SysProcAttr { return nil }
+
+// terminateWorker delivers the graceful-drain signal where the platform
+// has one, falling back to a kill.
+func terminateWorker(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		return cmd.Process.Kill()
+	}
+	return nil
+}
+
+// killWorkerTree kills the worker process directly.
+func killWorkerTree(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	return cmd.Process.Kill()
+}

@@ -1,0 +1,336 @@
+package appboot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbreak/internal/telemetry"
+)
+
+// fakeInstance is a scriptable Instance for state-machine tests.
+type fakeInstance struct {
+	addr    string
+	pid     int
+	done    chan struct{}
+	once    sync.Once
+	exitErr error
+	healthy atomic.Bool
+}
+
+func newFakeInstance(addr string, pid int) *fakeInstance {
+	f := &fakeInstance{addr: addr, pid: pid, done: make(chan struct{})}
+	f.healthy.Store(true)
+	return f
+}
+
+func (f *fakeInstance) Addr() string          { return f.addr }
+func (f *fakeInstance) Pid() int              { return f.pid }
+func (f *fakeInstance) Done() <-chan struct{} { return f.done }
+func (f *fakeInstance) ExitErr() error        { return f.exitErr }
+func (f *fakeInstance) Stop() error           { f.die(nil); return nil }
+func (f *fakeInstance) Kill() error           { f.die(errors.New("killed")); return nil }
+func (f *fakeInstance) die(err error) {
+	f.once.Do(func() { f.exitErr = err; close(f.done) })
+}
+func (f *fakeInstance) crash(msg string) { f.die(errors.New(msg)) }
+
+// launchLog is a Launcher that records every launch and hands out fresh
+// fake instances until it is told to start failing.
+type launchLog struct {
+	//cbvet:ignore rawsync guards test-only bookkeeping that never participates in a modeled deadlock
+	mu        sync.Mutex
+	instances []*fakeInstance
+	failNext  int
+	launches  int
+}
+
+func (l *launchLog) launcher() Launcher {
+	return func(prevAddr string) (Instance, error) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.launches++
+		if l.failNext > 0 {
+			l.failNext--
+			return nil, fmt.Errorf("scripted launch failure")
+		}
+		addr := prevAddr
+		if addr == "" {
+			addr = "127.0.0.1:9999"
+		}
+		inst := newFakeInstance(addr, 1000+l.launches)
+		l.instances = append(l.instances, inst)
+		return inst, nil
+	}
+}
+
+func (l *launchLog) last() *fakeInstance {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.instances) == 0 {
+		return nil
+	}
+	return l.instances[len(l.instances)-1]
+}
+
+func (l *launchLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.launches
+}
+
+// waitState polls for a host state (probing and backoff are time-driven).
+func waitState(t *testing.T, h *Host, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.State() == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("host never reached %v (now %v)", want, h.State())
+}
+
+func waitLaunches(t *testing.T, l *launchLog, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.count() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("launch count stuck at %d, want >= %d", l.count(), want)
+}
+
+// fastCfg is a host config with test-speed timers and probing disabled.
+func fastCfg(name string, l *launchLog) HostConfig {
+	return HostConfig{
+		Name: name, Launch: l.launcher(),
+		RestartBackoff: time.Millisecond, MaxRestartBackoff: 5 * time.Millisecond,
+		CrashLoopWindow: 200 * time.Millisecond, CrashLoopThreshold: 4,
+		ProbeInterval: -1, Seed: 7,
+	}
+}
+
+// TestHostRestartsAfterCrash: a crash relaunches the instance on the
+// same pinned address and counts a restart.
+func TestHostRestartsAfterCrash(t *testing.T) {
+	l := &launchLog{}
+	h := NewHost(fastCfg("httpd", l))
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	first := l.last()
+	first.crash("signal: killed")
+	waitLaunches(t, l, 2)
+	waitState(t, h, StateUp)
+	if got := l.last().Addr(); got != first.Addr() {
+		t.Fatalf("relaunch addr = %q, want pinned %q", got, first.Addr())
+	}
+	st := h.Status()
+	if st.Restarts < 1 || st.Crashes < 1 {
+		t.Fatalf("status = %+v, want restarts and crashes >= 1", st)
+	}
+	if st.LastExit != "signal: killed" {
+		t.Fatalf("LastExit = %q", st.LastExit)
+	}
+}
+
+// TestHostQuarantinesCrashLoop: threshold crashes inside the window
+// flips the host to quarantined and stops relaunching; Revive lifts it.
+func TestHostQuarantinesCrashLoop(t *testing.T) {
+	l := &launchLog{}
+	h := NewHost(fastCfg("mysql", l))
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	for i := 0; ; i++ {
+		if h.State() == StateQuarantined {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("never quarantined after %d crashes", i)
+		}
+		if inst := l.last(); inst != nil {
+			inst.crash("boom")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	launchesAtQuarantine := l.count()
+	time.Sleep(50 * time.Millisecond)
+	if got := l.count(); got != launchesAtQuarantine {
+		t.Fatalf("quarantined host kept launching: %d -> %d", launchesAtQuarantine, got)
+	}
+	if q := h.Status().Quarantines; q != 1 {
+		t.Fatalf("quarantines = %d, want 1", q)
+	}
+	h.Revive()
+	waitState(t, h, StateUp)
+	if l.count() <= launchesAtQuarantine {
+		t.Fatalf("revive did not relaunch")
+	}
+}
+
+// TestHostLaunchFailuresQuarantine: scripted launch errors count as
+// crashes and quarantine too (a binary that cannot even boot must not
+// spin forever).
+func TestHostLaunchFailuresQuarantine(t *testing.T) {
+	l := &launchLog{failNext: 0}
+	cfg := fastCfg("httpd", l)
+	h := NewHost(cfg)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	l.mu.Lock()
+	l.failNext = 100
+	l.mu.Unlock()
+	l.last().crash("first death")
+	waitState(t, h, StateQuarantined)
+}
+
+// TestHostFirstLaunchFailure: a boot-time failure surfaces from Start.
+func TestHostFirstLaunchFailure(t *testing.T) {
+	l := &launchLog{failNext: 1}
+	h := NewHost(fastCfg("httpd", l))
+	if err := h.Start(); err == nil {
+		t.Fatal("Start succeeded despite scripted launch failure")
+	}
+}
+
+// TestHostProbeWedgeKill: an instance that stays "alive" but fails
+// probes is killed and relaunched — the SIGSTOP wedge path.
+func TestHostProbeWedgeKill(t *testing.T) {
+	l := &launchLog{}
+	cfg := fastCfg("httpd", l)
+	cfg.ProbeInterval = 5 * time.Millisecond
+	cfg.ProbeTimeout = 5 * time.Millisecond
+	cfg.ProbeFailures = 3
+	cfg.Probe = func(addr string, timeout time.Duration) error {
+		inst := l.last()
+		if inst != nil && !inst.healthy.Load() {
+			return errors.New("no probe answer")
+		}
+		return nil
+	}
+	h := NewHost(cfg)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	first := l.last()
+	first.healthy.Store(false)
+	waitLaunches(t, l, 2)
+	waitState(t, h, StateUp)
+	select {
+	case <-first.done:
+	default:
+		t.Fatal("wedged instance was not killed")
+	}
+	if pf := h.Status().ProbeFailures; pf < 3 {
+		t.Fatalf("probe failures = %d, want >= 3", pf)
+	}
+}
+
+// TestSupervisorLifecycle: StartAll boots in order, AllUp gates on
+// every host, StopAll stops cleanly, metrics emit one family per app.
+func TestSupervisorLifecycle(t *testing.T) {
+	s := NewSupervisor()
+	l1, l2 := &launchLog{}, &launchLog{}
+	s.Add(fastCfg("mysql", l1))
+	// Gate httpd relaunches (not the first launch) so the restart window
+	// is observable deterministically rather than by racing the backoff.
+	cfg2 := fastCfg("httpd", l2)
+	inner := cfg2.Launch
+	relaunchGate := make(chan struct{})
+	var launchCalls atomic.Int64
+	cfg2.Launch = func(prevAddr string) (Instance, error) {
+		if launchCalls.Add(1) > 1 {
+			<-relaunchGate
+		}
+		return inner(prevAddr)
+	}
+	s.Add(cfg2)
+	if err := s.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AllUp() {
+		t.Fatal("AllUp false with both hosts up")
+	}
+	l2.last().crash("kill")
+	// Between death and relaunch AllUp must go false.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.AllUp() {
+		if time.Now().After(deadline) {
+			t.Fatal("AllUp never dropped during a restart")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(relaunchGate)
+	waitState(t, s.Host("httpd"), StateUp)
+
+	reg := telemetry.NewRegistry()
+	s.RegisterMetrics(reg)
+	byName := map[string]bool{}
+	for _, sm := range reg.Gather() {
+		byName[sm.Desc.Name+":"+sm.Labels[0]] = true
+	}
+	for _, want := range []string{
+		"cbreak_supervisor_app_state:mysql",
+		"cbreak_supervisor_app_state:httpd",
+		"cbreak_supervisor_restarts_total:httpd",
+		"cbreak_supervisor_crashes_total:httpd",
+		"cbreak_supervisor_quarantines_total:mysql",
+		"cbreak_supervisor_probe_failures_total:mysql",
+	} {
+		if !byName[want] {
+			t.Fatalf("metrics missing %s (got %v)", want, byName)
+		}
+	}
+	s.StopAll()
+	for _, h := range s.Hosts() {
+		if h.State() != StateStopped {
+			t.Fatalf("host %s state %v after StopAll", h.cfg.Name, h.State())
+		}
+	}
+}
+
+// TestParseApps covers the -apps flag grammar.
+func TestParseApps(t *testing.T) {
+	specs, err := ParseApps("httpd:log-corruption, mysql:deadlock", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].App != "httpd" || specs[0].Bug != "log-corruption" ||
+		specs[1].App != "mysql" || specs[1].Bug != "deadlock" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs, err = ParseApps("httpd", 0); err != nil || specs[0].Bug != "none" {
+		t.Fatalf("bare app: %+v, %v", specs, err)
+	}
+	if _, err = ParseApps("httpd,httpd", 0); err == nil {
+		t.Fatal("duplicate app accepted")
+	}
+	if _, err = ParseApps("", 0); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+// TestStateStrings pins the /status vocabulary.
+func TestStateStrings(t *testing.T) {
+	for want, s := range map[string]State{
+		"up": StateUp, "restarting": StateRestarting,
+		"quarantined": StateQuarantined, "stopped": StateStopped,
+	} {
+		if s.String() != want {
+			t.Fatalf("%v.String() = %q, want %q", int32(s), s, want)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package httpd
 
 import (
+	"bufio"
 	"fmt"
+	"net"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -32,7 +34,11 @@ type NetServer struct {
 	kit   *appkit.SocketServer
 	srv   *Server
 	cfg   *Config
+	ncfg  NetConfig
 	reqID atomic.Int64
+
+	backendOK   atomic.Int64
+	backendErrs atomic.Int64
 }
 
 // NetConfig parameterizes StartNet beyond the run Config.
@@ -43,6 +49,17 @@ type NetConfig struct {
 	ConnTimeout time.Duration
 	// DrainTimeout bounds graceful drain on Close (default 5s).
 	DrainTimeout time.Duration
+	// Backend, when set, wires httpd to a mysql server: every GET
+	// derives a statement from its path ordinal (even → INSERT, odd →
+	// FLUSH LOGS) and round-trips it to this address before answering,
+	// so client load on httpd drives the two communicating services —
+	// and, with the mysql deadlock armed, the FLUSH-vs-DML lock cycle —
+	// across a real process boundary.
+	Backend string
+	// BackendTimeout bounds one backend dial+roundtrip (default 2s). A
+	// deadlocked or partitioned backend turns into a 502 at this bound,
+	// not a wedged httpd handler.
+	BackendTimeout time.Duration
 }
 
 // StartNet starts the server on a loopback listener. The engine's
@@ -55,7 +72,10 @@ func StartNet(cfg Config, ncfg NetConfig) (*NetServer, error) {
 		return nil, fmt.Errorf("httpd: StartNet requires Config.Engine")
 	}
 	cfg.resolveHandles()
-	ns := &NetServer{cfg: &cfg}
+	if ncfg.BackendTimeout <= 0 {
+		ncfg.BackendTimeout = 2 * time.Second
+	}
+	ns := &NetServer{cfg: &cfg, ncfg: ncfg}
 	ns.srv = NewServer(ns.cfg)
 	kit, err := appkit.StartSocketServer(appkit.SocketServerConfig{
 		Addr:         ncfg.Addr,
@@ -113,6 +133,53 @@ func (ns *NetServer) Served() int64 { return ns.kit.Served() }
 // Close drains the server gracefully.
 func (ns *NetServer) Close() error { return ns.kit.Close() }
 
+// BackendStats reports the backend round-trip counters (zero unless
+// NetConfig.Backend is set).
+func (ns *NetServer) BackendStats() (ok, errs int64) {
+	return ns.backendOK.Load(), ns.backendErrs.Load()
+}
+
+// backendStatement derives the mysql statement a GET implies: even path
+// ordinals write (DML), odd ones rotate logs (FLUSH) — the crossing
+// pair that drives the FLUSH-vs-DML deadlock when the backend has it
+// armed. A path without a trailing number falls back to the request id.
+func backendStatement(path string, id int) string {
+	ord := id
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		if n, err := strconv.Atoi(path[i+1:]); err == nil {
+			ord = n
+		}
+	}
+	if ord%2 == 0 {
+		return fmt.Sprintf("INSERT INTO t1 VALUES ('page-%d')", ord)
+	}
+	return "FLUSH LOGS"
+}
+
+// backendExec round-trips one statement to the mysql backend on a fresh
+// connection bounded by BackendTimeout. Per-request dialing keeps the
+// wire simple and makes a restarted backend immediately usable — the
+// self-healing supervisor relaunches workers on their original address.
+func (ns *NetServer) backendExec(stmt string) (string, error) {
+	deadline := time.Now().Add(ns.ncfg.BackendTimeout)
+	conn, err := net.DialTimeout("tcp", ns.ncfg.Backend, ns.ncfg.BackendTimeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(deadline); err != nil {
+		return "", err
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", stmt); err != nil {
+		return "", err
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(reply, "\r\n"), nil
+}
+
 // handle serves one request line. The connection ordinal's parity is
 // the worker identity the breakpoints align, so any two concurrent
 // connections of opposite parity can reproduce the two-worker races.
@@ -134,6 +201,15 @@ func (ns *NetServer) handle(conn, _ int, line string) string {
 		}
 		if err := ns.srv.Handle(req, worker); err != nil {
 			return "500 " + err.Error()
+		}
+		if ns.ncfg.Backend != "" {
+			reply, err := ns.backendExec(backendStatement(req.Path, req.ID))
+			if err != nil {
+				ns.backendErrs.Add(1)
+				return fmt.Sprintf("502 id=%d db %v", req.ID, err)
+			}
+			ns.backendOK.Add(1)
+			return fmt.Sprintf("200 id=%d OK db=%s", req.ID, reply)
 		}
 		return fmt.Sprintf("200 id=%d OK", req.ID)
 	case "RELOAD":

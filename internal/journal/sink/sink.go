@@ -66,7 +66,14 @@ type Sink struct {
 // breakpoint-arrival rate, and an fsync each would serialize the very
 // schedules the engine exists to explore.
 func Open(dir string, pol journal.SyncPolicy) (*Sink, error) {
-	j, err := journal.Open(journal.Options{Dir: dir, Sync: pol})
+	return OpenOptions(journal.Options{Dir: dir, Sync: pol})
+}
+
+// OpenOptions opens the sink over a fully-specified journal — the seam
+// the chaos scenarios use to mount a fault-injecting FS (journal.CrashFS)
+// under a live app worker's telemetry journal.
+func OpenOptions(opts journal.Options) (*Sink, error) {
+	j, err := journal.Open(opts)
 	if err != nil {
 		return nil, fmt.Errorf("sink: %w", err)
 	}
@@ -116,6 +123,12 @@ func (s *Sink) Len() uint64 { return s.j.Len() }
 
 // Dir returns the journal directory.
 func (s *Sink) Dir() string { return s.j.Dir() }
+
+// Sync flushes every buffered record to stable storage without closing
+// the journal. Long-running daemons call it at drain time, before the
+// admin→proxy→app teardown severs the paths that produce records, so a
+// SIGTERM loses nothing the interval group-commit was still holding.
+func (s *Sink) Sync() error { return s.j.Sync() }
 
 // Close syncs and closes the journal.
 func (s *Sink) Close() error { return s.j.Close() }

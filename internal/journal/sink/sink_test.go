@@ -71,6 +71,46 @@ func TestEngineTeeRoundTrip(t *testing.T) {
 
 // TestSinkDetached pins that removing the sink stops the tee without
 // touching engine behavior.
+// TestSyncFlushesWithoutClose is the drain-time regression test: a
+// sink on the interval group-commit policy must expose every record
+// already appended — to a concurrent read-only Replay and to fsync —
+// after Sync(), with the journal still open and appendable. cbserverd
+// calls exactly this at the top of its SIGTERM drain, before the
+// admin→proxy→app teardown, so a kill during the drain bound cannot
+// lose buffered telemetry.
+func TestSyncFlushesWithoutClose(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sink")
+	s, err := Open(dir, journal.SyncInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := core.NewEngine()
+	e.SetDurableSink(s)
+	for i := 0; i < 10; i++ {
+		e.RecordIncident(guard.KindStall, "bp", uint64(i), "pre-drain")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	var n uint64
+	if _, err := Replay(dir, func(Entry) error { n++; return nil }); err != nil {
+		t.Fatalf("replay while open: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("replay after Sync sees %d records, want 10", n)
+	}
+	// The journal must still accept appends after a drain-time Sync —
+	// the drain itself produces incidents that should land too.
+	e.RecordIncident(guard.KindStall, "bp", 99, "during-drain")
+	if err := s.Err(); err != nil {
+		t.Fatalf("append after Sync: %v", err)
+	}
+	if got := s.Len(); got != 11 {
+		t.Fatalf("journal holds %d records, want 11", got)
+	}
+}
+
 func TestSinkDetached(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "sink")
 	s, err := Open(dir, journal.SyncNone)

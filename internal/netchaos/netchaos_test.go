@@ -256,6 +256,53 @@ func TestProxyPartition(t *testing.T) {
 	}
 }
 
+// TestProxyForcePartition drives the runtime-triggered partition: live
+// connections are severed immediately, new ones are rejected until the
+// window elapses, and service restores afterwards.
+func TestProxyForcePartition(t *testing.T) {
+	px := startProxy(t, echoUpstream(t), Faults{}, 1)
+
+	pre, err := net.DialTimeout("tcp", px.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer pre.Close()
+	pre.SetDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(pre, "pre\n")
+	if resp, err := bufio.NewReader(pre).ReadString('\n'); err != nil || resp != "pre\n" {
+		t.Fatalf("pre-partition roundtrip = %q, %v", resp, err)
+	}
+
+	if dropped := px.ForcePartition(300 * time.Millisecond); dropped != 1 {
+		t.Fatalf("ForcePartition dropped %d connections, want 1", dropped)
+	}
+	// The established connection died with the window's opening.
+	pre.SetReadDeadline(time.Now().Add(time.Second))
+	fmt.Fprintf(pre, "post\n")
+	if _, err := bufio.NewReader(pre).ReadString('\n'); err == nil {
+		t.Fatalf("live connection survived the forced partition")
+	}
+	// New connections inside the window are severed on accept.
+	if resp, err := roundTrip(px.Addr(), "in-window", time.Second); err == nil {
+		t.Fatalf("connection inside forced partition answered %q", resp)
+	}
+	before := px.FaultCount(FaultPartition)
+	if before < 2 {
+		t.Fatalf("partition fault count = %d, want >= 2 (window open + severed accept)", before)
+	}
+	// Past the window: service restored.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resp, err := roundTrip(px.Addr(), "after", time.Second); err == nil && resp == "after" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service did not restore after the forced partition window")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // TestClientRetriesThroughReset picks a seed whose first connection is
 // reset but whose second is clean, and shows one request surviving via
 // a retry.

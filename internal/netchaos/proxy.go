@@ -48,6 +48,11 @@ type Proxy struct {
 	// the live connection set was dropped.
 	partitioned atomic.Bool
 
+	// forcedUntil, when in the future (unix nanos), rejects every new
+	// connection — the operator/scenario-driven partition window, as
+	// opposed to the seed-scheduled ordinal window.
+	forcedUntil atomic.Int64
+
 	wg sync.WaitGroup
 }
 
@@ -102,6 +107,38 @@ func (p *Proxy) TotalFaults() int64 {
 	return n
 }
 
+// ForcePartition opens a partition window for the next d: every live
+// connection is severed abortively right now and every connection
+// accepted before the window closes is severed on accept. Unlike the
+// seed-scheduled ordinal window (Faults.PartitionAt), this one is
+// driven at runtime — cbserverd's admin API and the scenario harness
+// use it to cut the network mid-run without restarting the proxy.
+// Returns how many live connections were dropped.
+func (p *Proxy) ForcePartition(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	p.forcedUntil.Store(time.Now().Add(d).UnixNano())
+	p.mu.Lock()
+	conns := make([]*chaosConn, 0, len(p.active))
+	for c := range p.active {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.close(true)
+	}
+	p.fault(0, FaultPartition,
+		fmt.Sprintf("forced partition begins for %s: dropped %d live connection(s)", d, len(conns)))
+	return len(conns)
+}
+
+// forcedPartition reports whether a forced partition window is open.
+func (p *Proxy) forcedPartition() bool {
+	until := p.forcedUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
 // Close stops accepting, severs every live connection, and waits for
 // the forwarding goroutines to drain.
 func (p *Proxy) Close() error {
@@ -143,6 +180,11 @@ func (p *Proxy) acceptLoop() {
 			return // listener closed
 		}
 		ord := int(p.ordinal.Add(1))
+		if p.forcedPartition() {
+			p.fault(ord, FaultPartition, "connection severed inside forced partition window")
+			abortiveClose(client)
+			continue
+		}
 		plan := p.sched.PlanFor(ord)
 		if plan.Partitioned {
 			p.enterPartition(ord)

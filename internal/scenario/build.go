@@ -1,0 +1,33 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+var buildOnce sync.Once
+var builtBin string
+var buildErr error
+
+// BuildDaemon compiles cmd/cbserverd once per process into dir and
+// returns the binary path. It must run with a working directory inside
+// the module (true for `go test` and for cbscen run from the repo).
+func BuildDaemon(dir string) (string, error) {
+	buildOnce.Do(func() {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "cbserverd")
+		cmd := exec.Command("go", "build", "-o", bin, "cbreak/cmd/cbserverd")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build cbserverd: %v\n%s", err, out)
+			return
+		}
+		builtBin = bin
+	})
+	return builtBin, buildErr
+}

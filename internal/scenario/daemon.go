@@ -1,0 +1,325 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"cbreak/internal/journal/sink"
+)
+
+// Daemon is one cbserverd process under scenario control, addressed
+// exactly as an operator would: the admin HTTP listener and the chaos
+// proxy socket, both parsed from the daemon's own boot banner.
+type Daemon struct {
+	// AdminAddr is the admin HTTP host:port.
+	AdminAddr string
+	// ProxyAddr is the chaos proxy host:port load clients dial.
+	ProxyAddr string
+
+	c    *Context
+	cmd  *exec.Cmd
+	log  *os.File
+	done chan struct{}
+
+	mu      sync.Mutex
+	waitErr error
+	killed  bool
+}
+
+// StartDaemon boots c.Bin with the given args plus ephemeral admin and
+// proxy listeners, tees its output into <dir>/<name>.log, and waits for
+// the boot banner to learn the real addresses. The daemon is killed by
+// Context.Cleanup if the scenario doesn't stop it itself.
+func (c *Context) StartDaemon(name string, args ...string) (*Daemon, error) {
+	logPath := c.Path(name + ".log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return nil, err
+	}
+	full := append([]string{"-addr", "127.0.0.1:0", "-proxy-addr", "127.0.0.1:0"}, args...)
+	cmd := exec.Command(c.Bin, full...)
+	cmd.Stderr = logFile
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		logFile.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return nil, fmt.Errorf("start %s: %w", name, err)
+	}
+	c.Logf("daemon %s: pid %d (%s)", name, cmd.Process.Pid, strings.Join(full, " "))
+
+	d := &Daemon{c: c, cmd: cmd, log: logFile, done: make(chan struct{})}
+	c.daemons = append(c.daemons, d)
+
+	banner := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logFile, line)
+			if strings.HasPrefix(line, "cbserverd: admin http://") {
+				select {
+				case banner <- line:
+				default:
+				}
+			}
+		}
+	}()
+	go func() {
+		err := cmd.Wait()
+		d.mu.Lock()
+		d.waitErr = err
+		d.mu.Unlock()
+		logFile.Sync()
+		close(d.done)
+	}()
+
+	select {
+	case line := <-banner:
+		admin, proxy, err := parseBanner(line)
+		if err != nil {
+			d.Kill()
+			return nil, err
+		}
+		d.AdminAddr, d.ProxyAddr = admin, proxy
+		c.Logf("daemon %s: admin %s proxy %s", name, admin, proxy)
+		return d, nil
+	case <-d.done:
+		return nil, fmt.Errorf("daemon %s exited before its banner (%v) — see %s", name, d.waitErrLocked(), logPath)
+	case <-time.After(20 * time.Second):
+		d.Kill()
+		return nil, fmt.Errorf("daemon %s: no boot banner within 20s — see %s", name, logPath)
+	}
+}
+
+// parseBanner extracts the admin and proxy addresses from
+// "cbserverd: admin http://H:P  apps ...  proxy H:P -> H:P".
+func parseBanner(line string) (admin, proxy string, err error) {
+	fields := strings.Fields(line)
+	for i, f := range fields {
+		switch {
+		case f == "admin" && i+1 < len(fields):
+			admin = strings.TrimPrefix(fields[i+1], "http://")
+		case f == "proxy" && i+1 < len(fields):
+			proxy = fields[i+1]
+		}
+	}
+	if admin == "" || proxy == "" {
+		return "", "", fmt.Errorf("unparseable boot banner: %q", line)
+	}
+	return admin, proxy, nil
+}
+
+func (d *Daemon) waitErrLocked() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.waitErr
+}
+
+// Pid returns the daemon's own process id.
+func (d *Daemon) Pid() int { return d.cmd.Process.Pid }
+
+// Exited reports whether the daemon process has exited.
+func (d *Daemon) Exited() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stop drains the daemon with SIGTERM and waits for a clean exit,
+// escalating to SIGKILL after the timeout.
+func (d *Daemon) Stop(timeout time.Duration) error {
+	if d.Exited() {
+		return d.waitErrLocked()
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-d.done:
+		return d.waitErrLocked()
+	case <-time.After(timeout):
+		d.Kill()
+		return fmt.Errorf("daemon did not drain within %s (killed)", timeout)
+	}
+}
+
+// Kill force-terminates the daemon (idempotent). Supervised workers die
+// with it via their parent-death signal.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	killed := d.killed
+	d.killed = true
+	d.mu.Unlock()
+	if killed || d.Exited() {
+		return
+	}
+	d.cmd.Process.Kill()
+	select {
+	case <-d.done:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+// Get performs one admin GET and returns the status code and body.
+func (d *Daemon) Get(path string) (int, string, error) {
+	resp, err := http.Get("http://" + d.AdminAddr + path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), err
+}
+
+// Post performs one admin POST with form values.
+func (d *Daemon) Post(path string, form url.Values) (int, string, error) {
+	resp, err := http.PostForm("http://"+d.AdminAddr+path, form)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), err
+}
+
+// AppRow is one supervised app's row in GET /status.
+type AppRow struct {
+	Name          string `json:"name"`
+	State         string `json:"state"`
+	Addr          string `json:"addr"`
+	Pid           int    `json:"pid"`
+	Restarts      int64  `json:"restarts"`
+	Crashes       int64  `json:"crashes"`
+	Quarantines   int64  `json:"quarantines"`
+	ProbeFailures int64  `json:"probe_failures"`
+	LastExit      string `json:"last_exit"`
+	Bug           string `json:"bug"`
+}
+
+// Status fetches and decodes the supervision-relevant slice of /status.
+func (d *Daemon) Status() (apps []AppRow, ready bool, err error) {
+	code, body, err := d.Get("/status")
+	if err != nil {
+		return nil, false, err
+	}
+	if code != http.StatusOK {
+		return nil, false, fmt.Errorf("/status: HTTP %d", code)
+	}
+	var st struct {
+		Apps  []AppRow `json:"apps"`
+		Ready bool     `json:"ready"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		return nil, false, fmt.Errorf("/status: %v", err)
+	}
+	return st.Apps, st.Ready, nil
+}
+
+// App returns the named app's /status row.
+func (d *Daemon) App(name string) (AppRow, error) {
+	apps, _, err := d.Status()
+	if err != nil {
+		return AppRow{}, err
+	}
+	for _, a := range apps {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return AppRow{}, fmt.Errorf("/status has no app %q", name)
+}
+
+// WaitReady polls /readyz until it answers 200.
+func (d *Daemon) WaitReady(timeout time.Duration) error {
+	return WaitFor("readyz", timeout, func() (bool, error) {
+		code, body, err := d.Get("/readyz")
+		if err != nil {
+			return false, err
+		}
+		if code != http.StatusOK {
+			return false, fmt.Errorf("HTTP %d: %s", code, strings.TrimSpace(body))
+		}
+		return true, nil
+	})
+}
+
+// MetricValue scrapes /metrics and returns the sample whose series name
+// (including its label set, e.g. `cbreak_supervisor_restarts_total{app="httpd"}`)
+// matches exactly.
+func (d *Daemon) MetricValue(series string) (float64, error) {
+	code, body, err := d.Get("/metrics")
+	if err != nil {
+		return 0, err
+	}
+	if code != http.StatusOK {
+		return 0, fmt.Errorf("/metrics: HTTP %d", code)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series)
+		if !ok || !strings.HasPrefix(rest, " ") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	}
+	return 0, fmt.Errorf("/metrics has no series %s", series)
+}
+
+// Roundtrip sends one request line over a fresh socket (typically the
+// proxy address) and returns the one response line.
+func Roundtrip(addr, line string, timeout time.Duration) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(resp, "\n"), nil
+}
+
+// CountJournalIncidents replays the sink journal in dir and counts
+// incident records carrying the given label (e.g. "deadlock-confirmed").
+func CountJournalIncidents(dir, label string) (int, error) {
+	n := 0
+	_, err := sink.Replay(dir, func(e sink.Entry) error {
+		if e.Incident != nil && e.Incident.Incident == label {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// CountJournalRecords replays the sink journal in dir and returns how
+// many well-formed records it holds (proving the journal survives its
+// crash-recovery path end to end).
+func CountJournalRecords(dir string) (int, error) {
+	n := 0
+	_, err := sink.Replay(dir, func(sink.Entry) error { n++; return nil })
+	return n, err
+}

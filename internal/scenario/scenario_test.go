@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// testLog adapts t.Logf to the context's narration writer.
+type testLog struct{ t *testing.T }
+
+func (w testLog) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
+// TestScenarios runs every registered chaos scenario against a freshly
+// built cbserverd binary — the repo's black-box end-to-end suite.
+func TestScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-chaos scenarios are not -short")
+	}
+	bin, err := BuildDaemon(t.TempDir())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			start := time.Now()
+			if err := RunOne(s, bin, t.TempDir(), testLog{t}); err != nil {
+				t.Fatalf("%s: %v", s.Name, err)
+			}
+			t.Logf("%s passed in %.1fs", s.Name, time.Since(start).Seconds())
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("registered %d scenarios, want 4", len(all))
+	}
+	if _, ok := Find("multiproc-deadlock-sigkill"); !ok {
+		t.Fatal("headline scenario not registered")
+	}
+	if _, ok := Find("no-such"); ok {
+		t.Fatal("Find invented a scenario")
+	}
+	for _, s := range all {
+		if s.Timeout <= 0 || s.Desc == "" || s.Run == nil {
+			t.Fatalf("scenario %q underspecified: %+v", s.Name, s)
+		}
+	}
+}
+
+func TestParseBanner(t *testing.T) {
+	admin, proxy, err := parseBanner(
+		"cbserverd: admin http://127.0.0.1:7070  apps mysql(deadlock)@127.0.0.1:1,httpd(none)@127.0.0.1:2  proxy 127.0.0.1:9090 -> 127.0.0.1:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admin != "127.0.0.1:7070" || proxy != "127.0.0.1:9090" {
+		t.Fatalf("parsed admin=%q proxy=%q", admin, proxy)
+	}
+	if _, _, err := parseBanner("cbserverd: something else"); err == nil {
+		t.Fatal("unparseable banner accepted")
+	}
+}

@@ -1,0 +1,449 @@
+package scenario
+
+// The registered chaos scenarios. Each one is a full operator story:
+// boot the daemon with supervised worker processes, hurt it the way
+// production hurts it, and prove recovery from the outside.
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"cbreak/internal/apps/appboot"
+	"cbreak/internal/netchaos"
+)
+
+func init() {
+	Register(Scenario{
+		Name: "multiproc-deadlock-sigkill",
+		Desc: "httpd↔mysql deadlock over live sockets survives a worker SIGKILL and a proxy partition; journal proves exactly-once confirmation",
+		Run:  runMultiprocDeadlock,
+	})
+	Register(Scenario{
+		Name: "crashloop-quarantine",
+		Desc: "a crash-looping worker is quarantined instead of restarted forever, and /apps/revive lifts the quarantine",
+		Run:  runCrashloopQuarantine,
+	})
+	Register(Scenario{
+		Name: "sigstop-probe-restart",
+		Desc: "a SIGSTOP-wedged worker still accepts TCP but fails health probes; the supervisor kills and replaces it",
+		Run:  runSigstopProbeRestart,
+	})
+	Register(Scenario{
+		Name: "journal-fault-restart",
+		Desc: "a disk fault under a worker's durable journal kills it once; the restarted worker continues the same journal cleanly",
+		Run:  runJournalFaultRestart,
+	})
+}
+
+// waitAppUp waits until the named app is up with a live pid different
+// from notPid, and returns its fresh /status row.
+func waitAppUp(d *Daemon, name string, notPid int, timeout time.Duration) (AppRow, error) {
+	var row AppRow
+	err := WaitFor(name+" up", timeout, func() (bool, error) {
+		r, err := d.App(name)
+		if err != nil {
+			return false, err
+		}
+		row = r
+		if r.State != "up" || r.Pid <= 0 || r.Pid == notPid {
+			return false, fmt.Errorf("state=%s pid=%d (was %d)", r.State, r.Pid, notPid)
+		}
+		return true, nil
+	})
+	return row, err
+}
+
+// runMultiprocDeadlock is the headline scenario: mysql:deadlock and
+// httpd boot as supervised worker processes, load-driven GETs fan
+// through the chaos proxy into httpd and across the process boundary
+// into mysql statements whose crossing lock orders (held open by the
+// concurrent breakpoint) wedge into a real two-mutex deadlock. The
+// mysql worker's own wait-graph supervisor confirms it and journals the
+// incident durably. The scenario then SIGKILLs the httpd worker
+// mid-load and forces a proxy partition window; the supervisor restarts
+// httpd on its pinned address (so its baked-in mysql backend and the
+// proxy target both stay valid) and service resumes. The durable
+// journal must hold the deadlock confirmation exactly once.
+func runMultiprocDeadlock(c *Context) error {
+	jdir := c.Path("journal")
+	d, err := c.StartDaemon("daemon",
+		"-apps", "mysql:deadlock,httpd", "-supervise",
+		"-durable-events", jdir,
+		"-pause", "40ms", "-seed", "7",
+		"-probe-interval", "100ms", "-probe-timeout", "500ms", "-probe-failures", "3",
+		"-restart-backoff", "50ms", "-max-restart-backoff", "400ms",
+	)
+	if err != nil {
+		return err
+	}
+	if err := d.WaitReady(20 * time.Second); err != nil {
+		return err
+	}
+	httpdRow, err := d.App("httpd")
+	if err != nil {
+		return err
+	}
+	pid0 := httpdRow.Pid
+
+	// Background load: repeated small waves so the stream spans every
+	// fault we inject. GETs alternate parity per request, so httpd fans
+	// concurrent INSERTs and FLUSHes into mysql — the deadlock driver.
+	gen, err := appboot.RequestGenerator("httpd")
+	if err != nil {
+		return err
+	}
+	var loadMu sync.Mutex
+	var total netchaos.ClientStats
+	loadStop := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for wave := 0; ; wave++ {
+			select {
+			case <-loadStop:
+				return
+			default:
+			}
+			rep := netchaos.RunLoad(netchaos.LoadConfig{
+				Addr: d.ProxyAddr, Seed: int64(100 + wave),
+				Clients: 6, Requests: 3, MakeRequest: gen,
+				Client: netchaos.ClientConfig{
+					Attempts: 3, AttemptTimeout: 3 * time.Second,
+					RequestTimeout: 8 * time.Second, Backoff: 20 * time.Millisecond,
+				},
+			})
+			loadMu.Lock()
+			total.Requests += rep.Stats.Requests
+			total.OK += rep.Stats.OK
+			total.Failed += rep.Stats.Failed
+			total.Retries += rep.Stats.Retries
+			loadMu.Unlock()
+		}
+	}()
+	defer func() {
+		select {
+		case <-loadStop:
+		default:
+			close(loadStop)
+		}
+		<-loadDone
+	}()
+
+	// The deadlock is confirmed inside the mysql worker process; its
+	// durable journal is the observation channel.
+	mysqlJournal := c.Path("journal", "mysql")
+	if err := WaitFor("deadlock confirmation in mysql journal", 25*time.Second, func() (bool, error) {
+		n, err := CountJournalIncidents(mysqlJournal, "deadlock-confirmed")
+		if err != nil {
+			return false, err
+		}
+		return n >= 1, fmt.Errorf("%d confirmations", n)
+	}); err != nil {
+		return err
+	}
+	c.Logf("deadlock confirmed in %s", mysqlJournal)
+
+	// Process fault: SIGKILL the httpd worker mid-load.
+	c.Logf("SIGKILL httpd worker pid %d", pid0)
+	if err := syscall.Kill(pid0, syscall.SIGKILL); err != nil {
+		return fmt.Errorf("kill httpd worker: %w", err)
+	}
+	// Network fault: sever the proxy for a window while the supervisor
+	// is restarting the worker behind it.
+	code, body, err := d.Post("/chaos/partition", url.Values{"duration": {"300ms"}})
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("/chaos/partition: HTTP %d %s (%v)", code, body, err)
+	}
+
+	row, err := waitAppUp(d, "httpd", pid0, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	if row.Restarts < 1 || row.Crashes < 1 {
+		return fmt.Errorf("httpd restarts=%d crashes=%d after SIGKILL, want >= 1", row.Restarts, row.Crashes)
+	}
+	c.Logf("httpd restarted: pid %d -> %d (restarts=%d)", pid0, row.Pid, row.Restarts)
+	if v, err := d.MetricValue(`cbreak_supervisor_restarts_total{app="httpd"}`); err != nil || v < 1 {
+		return fmt.Errorf("restart counter not exported: %v (err %v)", v, err)
+	}
+
+	// Service restored end to end: a fresh socket through the healed
+	// proxy reaches the restarted worker on its pinned address. RELOAD
+	// avoids the (deliberately still deadlocked) mysql backend.
+	if err := WaitFor("service through proxy after restart", 10*time.Second, func() (bool, error) {
+		resp, err := Roundtrip(d.ProxyAddr, "RELOAD 64", 2*time.Second)
+		if err != nil {
+			return false, err
+		}
+		if resp != "200 reloaded 64" {
+			return false, fmt.Errorf("resp %q", resp)
+		}
+		return true, nil
+	}); err != nil {
+		return err
+	}
+
+	// The deadlocked mysql worker must still count as up: only two
+	// statement goroutines are wedged; its accept loop and probe answers
+	// don't touch the wedged locks.
+	mysqlRow, err := d.App("mysql")
+	if err != nil {
+		return err
+	}
+	if mysqlRow.State != "up" || mysqlRow.Crashes != 0 {
+		return fmt.Errorf("mysql worker state=%s crashes=%d, want up with 0 crashes", mysqlRow.State, mysqlRow.Crashes)
+	}
+
+	close(loadStop)
+	<-loadDone
+	loadMu.Lock()
+	c.Logf("load: %d requests, %d ok, %d failed, %d retries", total.Requests, total.OK, total.Failed, total.Retries)
+	ok := total.OK
+	loadMu.Unlock()
+	if ok == 0 {
+		return fmt.Errorf("no load request ever succeeded")
+	}
+
+	// Graceful drain, then the durability verdict: the confirmation is
+	// journaled exactly once — the wait-graph supervisor deduplicates
+	// re-sightings of the same cycle, and nothing replays it on restart.
+	if err := d.Stop(20 * time.Second); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	n, err := CountJournalIncidents(mysqlJournal, "deadlock-confirmed")
+	if err != nil {
+		return err
+	}
+	if n != 1 {
+		return fmt.Errorf("journal holds %d deadlock confirmations, want exactly 1", n)
+	}
+	c.Logf("journal verdict: exactly one deadlock confirmation")
+	return nil
+}
+
+// runCrashloopQuarantine SIGKILLs a worker repeatedly inside the
+// crash-loop window and requires the supervisor to stop restarting it:
+// the app lands in quarantine (visible in /status, /readyz, and the
+// quarantine counter), stays there, and comes back on /apps/revive.
+func runCrashloopQuarantine(c *Context) error {
+	d, err := c.StartDaemon("daemon",
+		"-apps", "httpd", "-supervise",
+		"-crashloop-threshold", "3", "-crashloop-window", "30s",
+		"-restart-backoff", "30ms", "-max-restart-backoff", "120ms",
+		"-probe-interval", "100ms", "-seed", "3",
+	)
+	if err != nil {
+		return err
+	}
+	if err := d.WaitReady(20 * time.Second); err != nil {
+		return err
+	}
+
+	lastPid := 0
+	for kill := 1; kill <= 3; kill++ {
+		row, err := waitAppUp(d, "httpd", lastPid, 10*time.Second)
+		if err != nil {
+			return fmt.Errorf("before kill %d: %w", kill, err)
+		}
+		lastPid = row.Pid
+		c.Logf("kill %d: SIGKILL pid %d", kill, lastPid)
+		if err := syscall.Kill(lastPid, syscall.SIGKILL); err != nil {
+			return err
+		}
+	}
+
+	if err := WaitFor("httpd quarantined", 10*time.Second, func() (bool, error) {
+		row, err := d.App("httpd")
+		if err != nil {
+			return false, err
+		}
+		return row.State == "quarantined", fmt.Errorf("state %s", row.State)
+	}); err != nil {
+		return err
+	}
+	if v, err := d.MetricValue(`cbreak_supervisor_quarantines_total{app="httpd"}`); err != nil || v != 1 {
+		return fmt.Errorf("quarantine counter = %v, want 1 (err %v)", v, err)
+	}
+	if code, body, err := d.Get("/readyz"); err != nil || code != http.StatusServiceUnavailable {
+		return fmt.Errorf("/readyz during quarantine: HTTP %d %s (%v)", code, body, err)
+	}
+	// Quarantine means *no more restarts*: the restart counter must hold
+	// still while the app sits quarantined.
+	restarts, err := d.MetricValue(`cbreak_supervisor_restarts_total{app="httpd"}`)
+	if err != nil {
+		return err
+	}
+	time.Sleep(500 * time.Millisecond)
+	if again, err := d.MetricValue(`cbreak_supervisor_restarts_total{app="httpd"}`); err != nil || again != restarts {
+		return fmt.Errorf("restarts moved %v -> %v while quarantined (err %v)", restarts, again, err)
+	}
+
+	code, body, err := d.Post("/apps/revive", url.Values{"name": {"httpd"}})
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("/apps/revive: HTTP %d %s (%v)", code, body, err)
+	}
+	row, err := waitAppUp(d, "httpd", 0, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("after revive: %w", err)
+	}
+	c.Logf("revived: pid %d", row.Pid)
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		return err
+	}
+	if resp, err := Roundtrip(d.ProxyAddr, "GET /index", 3*time.Second); err != nil || len(resp) < 3 || resp[:3] != "200" {
+		return fmt.Errorf("roundtrip after revive: %q (%v)", resp, err)
+	}
+	return d.Stop(15 * time.Second)
+}
+
+// runSigstopProbeRestart wedges a worker with SIGSTOP: its listening
+// socket still completes TCP handshakes (the kernel backlog accepts),
+// so only an application-level probe can tell it is dead. The
+// supervisor's line probe times out, declares the worker wedged after
+// the configured consecutive failures, kills the process group, and
+// relaunches on the pinned address.
+func runSigstopProbeRestart(c *Context) error {
+	d, err := c.StartDaemon("daemon",
+		"-apps", "httpd", "-supervise",
+		"-probe-interval", "100ms", "-probe-timeout", "300ms", "-probe-failures", "2",
+		"-restart-backoff", "30ms", "-seed", "5",
+	)
+	if err != nil {
+		return err
+	}
+	if err := d.WaitReady(20 * time.Second); err != nil {
+		return err
+	}
+	row, err := d.App("httpd")
+	if err != nil {
+		return err
+	}
+	pid0 := row.Pid
+	addr0 := row.Addr
+
+	c.Logf("SIGSTOP httpd worker pid %d", pid0)
+	if err := syscall.Kill(pid0, syscall.SIGSTOP); err != nil {
+		return err
+	}
+
+	row, err = waitAppUp(d, "httpd", pid0, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	if row.ProbeFailures < 2 {
+		return fmt.Errorf("probe_failures = %d, want >= 2", row.ProbeFailures)
+	}
+	if row.Addr != addr0 {
+		return fmt.Errorf("relaunch moved the app address %s -> %s, want pinned", addr0, row.Addr)
+	}
+	c.Logf("wedged worker replaced: pid %d -> %d after %d probe failures", pid0, row.Pid, row.ProbeFailures)
+	if v, err := d.MetricValue(`cbreak_supervisor_probe_failures_total{app="httpd"}`); err != nil || v < 2 {
+		return fmt.Errorf("probe-failure counter = %v, want >= 2 (err %v)", v, err)
+	}
+
+	// The stopped process must actually be gone (killed, not leaked).
+	if err := WaitFor("old worker reaped", 10*time.Second, func() (bool, error) {
+		return syscall.Kill(pid0, 0) != nil, nil
+	}); err != nil {
+		return err
+	}
+	if resp, err := Roundtrip(d.ProxyAddr, "GET /index", 3*time.Second); err != nil || len(resp) < 3 || resp[:3] != "200" {
+		return fmt.Errorf("roundtrip after replace: %q (%v)", resp, err)
+	}
+	return d.Stop(15 * time.Second)
+}
+
+// runJournalFaultRestart arms a one-shot disk fault under the httpd
+// worker's durable journal (-crash-app): the Nth durability operation
+// kills the worker process mid-append. The supervisor restarts it; the
+// armed-marker protocol makes the fault one-shot, so the relaunched
+// worker reopens the same journal directory clean, recovery drops any
+// torn tail, and the journal keeps growing across the process boundary.
+func runJournalFaultRestart(c *Context) error {
+	jdir := c.Path("journal")
+	d, err := c.StartDaemon("daemon",
+		"-apps", "httpd:log-corruption", "-supervise",
+		"-durable-events", jdir,
+		"-crash-app", "httpd", "-crash-appends", "40",
+		"-pause", "5ms", "-seed", "9",
+		"-probe-interval", "100ms", "-restart-backoff", "30ms",
+	)
+	if err != nil {
+		return err
+	}
+	if err := d.WaitReady(20 * time.Second); err != nil {
+		return err
+	}
+	row, err := d.App("httpd")
+	if err != nil {
+		return err
+	}
+	pid0 := row.Pid
+
+	// Breakpointed GETs produce engine events; every event is a journal
+	// append marching toward the armed crash ordinal.
+	gen, err := appboot.RequestGenerator("httpd")
+	if err != nil {
+		return err
+	}
+	load := func(seed int64) netchaos.LoadReport {
+		return netchaos.RunLoad(netchaos.LoadConfig{
+			Addr: d.ProxyAddr, Seed: seed, Clients: 4, Requests: 20, MakeRequest: gen,
+			Client: netchaos.ClientConfig{
+				Attempts: 3, AttemptTimeout: 2 * time.Second,
+				RequestTimeout: 6 * time.Second, Backoff: 20 * time.Millisecond,
+			},
+		})
+	}
+	rep := load(41)
+	c.Logf("fault-arming load: %s", rep.String())
+
+	row, err = waitAppUp(d, "httpd", pid0, 20*time.Second)
+	if err != nil {
+		return fmt.Errorf("worker did not die on the armed disk fault: %w", err)
+	}
+	if row.Crashes < 1 {
+		return fmt.Errorf("httpd crashes = %d, want >= 1 from the disk fault", row.Crashes)
+	}
+	c.Logf("disk fault killed pid %d; restarted as pid %d", pid0, row.Pid)
+
+	// One-shot proof: the marker is on disk and the restarted worker
+	// survives a second full load wave over the same journal.
+	if _, err := os.Stat(c.Path("journal", "httpd", "chaos-armed")); err != nil {
+		return fmt.Errorf("armed marker missing: %v", err)
+	}
+	pid1 := row.Pid
+	rep = load(42)
+	c.Logf("post-restart load: %s", rep.String())
+	if rep.Stats.OK == 0 {
+		return fmt.Errorf("no request succeeded after the restart")
+	}
+	row, err = d.App("httpd")
+	if err != nil {
+		return err
+	}
+	if row.Pid != pid1 || row.State != "up" {
+		return fmt.Errorf("restarted worker unstable: state=%s pid=%d (want up, pid %d)", row.State, row.Pid, pid1)
+	}
+
+	if err := d.Stop(15 * time.Second); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	// The journal must replay cleanly end to end: records from before
+	// the crash (minus any torn tail) and after the restart, one
+	// continuous history.
+	n, err := CountJournalRecords(c.Path("journal", "httpd"))
+	if err != nil {
+		return fmt.Errorf("journal replay after crash+restart: %w", err)
+	}
+	if n == 0 {
+		return fmt.Errorf("journal is empty after crash+restart")
+	}
+	c.Logf("journal replays clean: %d records across the crash", n)
+	return nil
+}

@@ -173,6 +173,29 @@ var (
 		Help: "Wait-graph supervisor scans executed.",
 	}
 
+	// Self-healing app supervision (appboot hosted servers).
+
+	DescAppState = &Desc{
+		Name: "cbreak_supervisor_app_state", Kind: Gauge, Labels: []string{"app"},
+		Help: "Hosted app supervisor state: 0 up, 1 restarting, 2 quarantined, 3 stopped.",
+	}
+	DescAppRestarts = &Desc{
+		Name: "cbreak_supervisor_restarts_total", Kind: Counter, Labels: []string{"app"},
+		Help: "Times the supervisor relaunched a hosted app after a crash or failed health probes.",
+	}
+	DescAppCrashes = &Desc{
+		Name: "cbreak_supervisor_crashes_total", Kind: Counter, Labels: []string{"app"},
+		Help: "Hosted app instance deaths observed by the supervisor (process exits and probe-declared wedges).",
+	}
+	DescAppQuarantines = &Desc{
+		Name: "cbreak_supervisor_quarantines_total", Kind: Counter, Labels: []string{"app"},
+		Help: "Crash-looping hosted apps degraded to the quarantined state instead of being restarted again.",
+	}
+	DescAppProbeFailures = &Desc{
+		Name: "cbreak_supervisor_probe_failures_total", Kind: Counter, Labels: []string{"app"},
+		Help: "Failed health probes against hosted apps (timeouts and refused dials).",
+	}
+
 	// Campaign trials and the bus itself.
 
 	DescTrials = &Desc{
@@ -200,6 +223,8 @@ func Catalog() []*Desc {
 		DescBPBreakerTrips, DescBPBreakerRearms, DescBPBreakerState,
 		DescBPWait, DescBPMaxWait, DescBPLastHit,
 		DescIncidents, DescWaitgraphReports, DescWaitgraphScans,
+		DescAppState, DescAppRestarts, DescAppCrashes,
+		DescAppQuarantines, DescAppProbeFailures,
 		DescTrials, DescBusRecords, DescBusDropped,
 	}
 }
