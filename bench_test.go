@@ -23,6 +23,9 @@ import (
 	"cbreak/internal/apps/swing"
 	"cbreak/internal/core"
 	"cbreak/internal/harness"
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+	"cbreak/internal/predict"
 	"cbreak/internal/prob"
 	"cbreak/internal/sched"
 )
@@ -405,4 +408,43 @@ func sanitize(s string) string {
 		}
 	}
 	return string(out)
+}
+
+// benchTracedTraffic runs a fixed pattern of instrumented cell/lock
+// traffic: one locked store plus one lock-free load per iteration, the
+// access mix the predictive-analysis recorder journals per event.
+func benchTracedTraffic(b *testing.B, sp *memory.Space, mu *locks.Mutex) {
+	b.Helper()
+	c := memory.NewCell(sp, "bench.traced", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		c.Store("bench:store", int64(i))
+		mu.Unlock()
+		//cbvet:ignore conflicts the mixed locked/lock-free traffic is the workload being priced, single-goroutine here
+		c.Load("bench:load")
+	}
+}
+
+// BenchmarkTraceRecordOverhead prices the predictive-race trace
+// recorder (internal/predict): the same instrumented traffic with the
+// recorder detached and attached (vector-clock maintenance plus one
+// CRC-framed journal record per event, SyncNone). cbbench pairs the
+// RecorderOn/RecorderOff series into the recorder_deltas section of
+// BENCH_engine.json, so recording cost is tracked per commit.
+func BenchmarkTraceRecordOverhead(b *testing.B) {
+	b.Run("RecorderOff", func(b *testing.B) {
+		benchTracedTraffic(b, memory.NewSpace(), locks.NewMutex("bench.mu"))
+	})
+	b.Run("RecorderOn", func(b *testing.B) {
+		rec, err := predict.NewRecorder(b.TempDir(), predict.RecorderOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rec.Close()
+		sp := memory.NewSpace()
+		mu := locks.NewMutex("bench.mu")
+		rec.Instrument(sp, mu)
+		benchTracedTraffic(b, sp, mu)
+	})
 }

@@ -75,6 +75,10 @@ type Report struct {
 	// SupervisorDeltas pairs each "...SupervisorOn..." series with its
 	// "...SupervisorOff..." baseline.
 	SupervisorDeltas []Delta `json:"supervisor_deltas,omitempty"`
+	// RecorderDeltas pairs each "...RecorderOn..." series with its
+	// "...RecorderOff..." baseline: the cost of the predictive-race
+	// trace recorder on instrumented traffic.
+	RecorderDeltas []Delta `json:"recorder_deltas,omitempty"`
 }
 
 // parse reads `go test -bench` text output into a Report.
@@ -113,24 +117,25 @@ func parse(r io.Reader) (Report, error) {
 	if err := sc.Err(); err != nil {
 		return rep, err
 	}
-	rep.SupervisorDeltas = supervisorDeltas(rep.Benchmarks)
+	rep.SupervisorDeltas = pairDeltas(rep.Benchmarks, "SupervisorOn", "SupervisorOff")
+	rep.RecorderDeltas = pairDeltas(rep.Benchmarks, "RecorderOn", "RecorderOff")
 	return rep, nil
 }
 
-// supervisorDeltas pairs every "...SupervisorOn..." entry with the
-// matching "...SupervisorOff..." baseline (same name otherwise) and
-// reports the ns/op ratio.
-func supervisorDeltas(bs []Benchmark) []Delta {
+// pairDeltas pairs every entry whose name contains the `on` marker
+// with the matching `off` baseline (same name otherwise) and reports
+// the ns/op ratio.
+func pairDeltas(bs []Benchmark, on, off string) []Delta {
 	byName := make(map[string]Benchmark, len(bs))
 	for _, b := range bs {
 		byName[b.Name] = b
 	}
 	var out []Delta
 	for _, b := range bs {
-		if !strings.Contains(b.Name, "SupervisorOn") {
+		if !strings.Contains(b.Name, on) {
 			continue
 		}
-		base, ok := byName[strings.Replace(b.Name, "SupervisorOn", "SupervisorOff", 1)]
+		base, ok := byName[strings.Replace(b.Name, on, off, 1)]
 		if !ok || base.NsPerOp == 0 {
 			continue
 		}

@@ -113,6 +113,32 @@ func TestParseMultiPackageAndSupervisorDeltas(t *testing.T) {
 	}
 }
 
+func TestParseRecorderDeltas(t *testing.T) {
+	const out = `
+BenchmarkTraceRecordOverhead/RecorderOff-4	    1000	       50.0 ns/op
+BenchmarkTraceRecordOverhead/RecorderOn-4 	    1000	      200.0 ns/op
+PASS
+`
+	rep, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RecorderDeltas) != 1 {
+		t.Fatalf("recorder deltas = %+v, want exactly one pair", rep.RecorderDeltas)
+	}
+	d := rep.RecorderDeltas[0]
+	if d.Base != "BenchmarkTraceRecordOverhead/RecorderOff-4" ||
+		d.With != "BenchmarkTraceRecordOverhead/RecorderOn-4" {
+		t.Fatalf("recorder delta pair = %+v", d)
+	}
+	if d.Ratio != 4.0 {
+		t.Fatalf("recorder delta ratio = %v, want 4.0", d.Ratio)
+	}
+	if len(rep.SupervisorDeltas) != 0 {
+		t.Fatalf("supervisor deltas leaked into recorder-only input: %+v", rep.SupervisorDeltas)
+	}
+}
+
 func TestGate(t *testing.T) {
 	base := Report{Benchmarks: []Benchmark{
 		{Name: "BenchmarkEngineContention/K=8-4", Pkg: "core", NsPerOp: 100},

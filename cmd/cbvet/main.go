@@ -1,6 +1,7 @@
 // Command cbvet is the multichecker driver for the static analyzers
-// under internal/analysis: breakpoint-key hygiene (bpkeys), predicate
-// purity (predpure), raw-sync usage in app packages (rawsync), static
+// under internal/analysis: breakpoint-key hygiene (bpkeys), shared
+// cells with inconsistent locksets (conflicts), predicate purity
+// (predpure), raw-sync usage in app packages (rawsync), static
 // lock-order cycles (lockorder), and timer leaks in loops (timerleak).
 //
 // Standalone use:
@@ -35,6 +36,7 @@ import (
 
 	"cbreak/internal/analysis"
 	"cbreak/internal/analysis/bpkeys"
+	"cbreak/internal/analysis/conflicts"
 	"cbreak/internal/analysis/load"
 	"cbreak/internal/analysis/lockorder"
 	"cbreak/internal/analysis/predpure"
@@ -45,6 +47,7 @@ import (
 // all is the registered analyzer suite, alphabetical.
 var all = []*analysis.Analyzer{
 	bpkeys.Analyzer,
+	conflicts.Analyzer,
 	lockorder.Analyzer,
 	predpure.Analyzer,
 	rawsync.Analyzer,

@@ -1,0 +1,96 @@
+// Fixture for the conflicts analyzer.
+package a
+
+import (
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+)
+
+var (
+	mu    = locks.NewMutex("fix.mu")
+	other = locks.NewMutex("fix.other")
+
+	counter = memory.NewCell(nil, "fix.counter", 0)
+	depth   = memory.NewCell(nil, "fix.depth", 0)
+	split   = memory.NewCell(nil, "fix.split", 0)
+	steady  = memory.NewCell(nil, "fix.steady", 0)
+	free    = memory.NewCell(nil, "fix.free", 0)
+	hush    = memory.NewCell(nil, "fix.hush", 0)
+)
+
+// Inconsistent: one writer under the lock, one lock-free.
+func lockedBump() {
+	mu.Lock()
+	defer mu.Unlock()
+	counter.Add("fix:counter.locked", 1)
+}
+
+func rawBump() {
+	counter.Add("fix:counter.raw", 1) // want "inconsistent locking of cell fix.counter"
+}
+
+// The same inconsistency through an interprocedural edge: the helper's
+// write is locked by one caller and reached lock-free by the other.
+func through() {
+	depth.Add("fix:depth", 1) // want "inconsistent locking of cell fix.depth"
+}
+
+func lockedCaller() {
+	mu.Lock()
+	defer mu.Unlock()
+	through()
+}
+
+func rawCaller() {
+	through()
+}
+
+// Disjoint locksets: both writers lock, but not the same lock, so no
+// common lock protects the cell.
+func splitMu() {
+	mu.Lock()
+	defer mu.Unlock()
+	split.Store("fix:split.mu", 1) // want "inconsistent locking of cell fix.split"
+}
+
+func splitOther() {
+	other.Lock()
+	defer other.Unlock()
+	split.Store("fix:split.other", 2)
+}
+
+// Negative: every access holds the same lock.
+func steadyBump() {
+	mu.Lock()
+	defer mu.Unlock()
+	steady.Add("fix:steady.bump", 1)
+}
+
+func steadyRead() int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return steady.Load("fix:steady.read")
+}
+
+// Negative: no access ever locks — nothing claims a discipline, so
+// there is no inconsistency to report (the dynamic detectors own this
+// case).
+func freeBump() {
+	free.Add("fix:free.bump", 1)
+}
+
+func freeRead() int64 {
+	return free.Load("fix:free.read")
+}
+
+// Suppressed: the inconsistency is real but declared intentional.
+func hushRaw() {
+	//cbvet:ignore conflicts intentionally racy demo counter for the suppression fixture
+	hush.Add("fix:hush.raw", 1)
+}
+
+func hushLocked() {
+	mu.Lock()
+	defer mu.Unlock()
+	hush.Add("fix:hush.locked", 1)
+}

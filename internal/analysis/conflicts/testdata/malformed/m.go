@@ -1,0 +1,25 @@
+// Fixture for malformed //cbvet:ignore directives: a conflicts
+// suppression with no reason must surface as a bad directive, and must
+// NOT silence the finding it precedes.
+package m
+
+import (
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+)
+
+var (
+	mu  = locks.NewMutex("mal.mu")
+	val = memory.NewCell(nil, "mal.val", 0)
+)
+
+func lockedWrite() {
+	mu.Lock()
+	defer mu.Unlock()
+	val.Store("mal:locked", 1)
+}
+
+func rawWrite() {
+	//cbvet:ignore conflicts
+	val.Store("mal:raw", 2)
+}

@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cbreak/internal/analysis"
+	"cbreak/internal/analysis/load"
+	"cbreak/internal/analysis/timerleak"
+)
+
+// Overlapping unit sets (the same package loaded twice — directly and
+// as a dependency, or test and non-test variants) must not double the
+// findings: identical diagnostics collapse before rendering.
+func TestDuplicateDiagnosticsCollapse(t *testing.T) {
+	dir := filepath.Join("timerleak", "testdata", "a")
+	loader, err := load.New(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	once, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	twice, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture again: %v", err)
+	}
+
+	runner := &analysis.Runner{Analyzers: []*analysis.Analyzer{timerleak.Analyzer}}
+	base, err := runner.Run(once)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(base.Findings) == 0 {
+		t.Fatal("fixture produced no findings; the test needs at least one")
+	}
+	dup, err := runner.Run(append(append([]*load.Unit(nil), once...), twice...))
+	if err != nil {
+		t.Fatalf("run with duplicated units: %v", err)
+	}
+	if len(dup.Findings) != len(base.Findings) {
+		t.Errorf("findings with duplicated units = %d, want %d (identical diagnostics must collapse)",
+			len(dup.Findings), len(base.Findings))
+	}
+	if len(dup.Suppressed) != len(base.Suppressed) {
+		t.Errorf("suppressed with duplicated units = %d, want %d",
+			len(dup.Suppressed), len(base.Suppressed))
+	}
+}

@@ -46,6 +46,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 const locksPath = astq.ModulePath + "/internal/locks"
+const memoryPath = astq.ModulePath + "/internal/memory"
 
 // Edge is one observed acquisition order: a site that acquires To while
 // holding From.
@@ -72,13 +73,20 @@ type state struct {
 	// bindings maps a static lock identity (refKey) to the constant
 	// name it was created with.
 	bindings map[string]string
+	// cellBindings maps a static cell/ref identity (refKey) to the
+	// constant name it was created with (NewCell/NewRef second arg).
+	cellBindings map[string]string
 	// funcs maps a function symbol to its collected facts.
 	funcs map[string]*funcInfo
 	anon  int
 }
 
 func newState() *state {
-	return &state{bindings: map[string]string{}, funcs: map[string]*funcInfo{}}
+	return &state{
+		bindings:     map[string]string{},
+		cellBindings: map[string]string{},
+		funcs:        map[string]*funcInfo{},
+	}
 }
 
 type pendingCall struct {
@@ -94,6 +102,18 @@ type funcInfo struct {
 	callees   map[string]bool
 	edges     []Edge // direct edges, From/To hold refKeys until finish
 	pending   []pendingCall
+	// accesses are the function's direct memory-cell accesses with the
+	// lock refKeys held around each (the conflicts analyzer's input).
+	accesses []staticAccess
+}
+
+// staticAccess is one direct Cell/Ref method call: the cell's refKey,
+// whether it mutates, and the locks held at the call.
+type staticAccess struct {
+	ref   string
+	write bool
+	held  []string
+	pos   token.Pos
 }
 
 // --- collection ---------------------------------------------------------
@@ -158,6 +178,29 @@ func (c *collector) lockCtor(e ast.Expr) (string, bool) {
 	return astq.ConstString(c.u.Info, call.Args[0])
 }
 
+// cellCtor returns the constant name argument of a memory cell/ref
+// constructor call (NewCell/NewRef, name is the SECOND argument), or
+// ok=false.
+func (c *collector) cellCtor(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := astq.Callee(c.u.Info, call)
+	if fn == nil || astq.FuncPkgPath(fn) != memoryPath {
+		return "", false
+	}
+	switch fn.Name() {
+	case "NewCell", "NewRef":
+	default:
+		return "", false
+	}
+	if len(call.Args) < 2 {
+		return "", false
+	}
+	return astq.ConstString(c.u.Info, call.Args[1])
+}
+
 // bindFile records refKey -> lock-name bindings from composite
 // literals, assignments, and var declarations.
 func (c *collector) bindFile(f *ast.File) {
@@ -182,18 +225,24 @@ func (c *collector) bindFile(f *ast.File) {
 				if name, ok := c.lockCtor(kv.Value); ok {
 					c.st.bindings["field:"+tkey+"."+key.Name] = name
 				}
+				if name, ok := c.cellCtor(kv.Value); ok {
+					c.st.cellBindings["field:"+tkey+"."+key.Name] = name
+				}
 			}
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
 				if i >= len(n.Lhs) {
 					break
 				}
-				name, ok := c.lockCtor(rhs)
-				if !ok {
+				ref := c.refKey(n.Lhs[i])
+				if ref == "" {
 					continue
 				}
-				if ref := c.refKey(n.Lhs[i]); ref != "" {
+				if name, ok := c.lockCtor(rhs); ok {
 					c.st.bindings[ref] = name
+				}
+				if name, ok := c.cellCtor(rhs); ok {
+					c.st.cellBindings[ref] = name
 				}
 			}
 		case *ast.ValueSpec:
@@ -201,12 +250,15 @@ func (c *collector) bindFile(f *ast.File) {
 				if i >= len(n.Names) {
 					break
 				}
-				name, ok := c.lockCtor(v)
-				if !ok {
+				ref := c.refKey(n.Names[i])
+				if ref == "" {
 					continue
 				}
-				if ref := c.refKey(n.Names[i]); ref != "" {
+				if name, ok := c.lockCtor(v); ok {
 					c.st.bindings[ref] = name
+				}
+				if name, ok := c.cellCtor(v); ok {
+					c.st.cellBindings[ref] = name
 				}
 			}
 		}
@@ -452,18 +504,63 @@ func (w *walker) call(call *ast.CallExpr) bool {
 		}
 		return false
 	}
-	// Ordinary resolvable call: summary edge material.
+	if astq.FuncPkgPath(fn) == memoryPath {
+		w.cellCall(fn, call)
+		return false
+	}
+	// Ordinary resolvable call: summary material for both the
+	// acquisition fixpoint (lock edges through callees) and the
+	// access expansion (cell accesses through callees, which also
+	// matter when NO lock is held — the conflicts analyzer's case).
 	sym := astq.Symbol(fn)
 	w.fi.callees[sym] = true
-	if len(w.held) > 0 {
-		w.fi.pending = append(w.fi.pending, pendingCall{
-			held:   w.snapshot(),
-			callee: sym,
-			name:   displayName(fn),
-			pos:    call.Pos(),
-		})
-	}
+	w.fi.pending = append(w.fi.pending, pendingCall{
+		held:   w.snapshot(),
+		callee: sym,
+		name:   displayName(fn),
+		pos:    call.Pos(),
+	})
 	return false
+}
+
+// cellCall records a Cell/Ref method call as a static memory access
+// with the current held set.
+func (w *walker) cellCall(fn *types.Func, call *ast.CallExpr) {
+	var write bool
+	switch astq.RecvTypeName(fn) {
+	case "Cell":
+		switch fn.Name() {
+		case "Load":
+		case "Store", "Add", "AtomicAdd", "CompareAndSwap":
+			write = true
+		default:
+			return
+		}
+	case "Ref":
+		switch fn.Name() {
+		case "Load":
+		case "Store":
+			write = true
+		default:
+			return
+		}
+	default:
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ref := w.c.refKey(sel.X)
+	if ref == "" {
+		return
+	}
+	w.fi.accesses = append(w.fi.accesses, staticAccess{
+		ref:   ref,
+		write: write,
+		held:  w.snapshot(),
+		pos:   call.Pos(),
+	})
 }
 
 func displayName(fn *types.Func) string {

@@ -157,6 +157,7 @@ func (c *Cache) Get(key string) (*CacheObject, bool) {
 	if !ok {
 		return nil, false // spurious miss: object looked expired mid-init
 	}
+	//cbvet:ignore conflicts intentional cache4j race: the lock-free touch vs the locked reaper IS the reproduced bug
 	obj.LastAccess.Store("cache.go:get.touch", c.now())
 	c.recordHit()
 	return obj, true

@@ -71,6 +71,7 @@ func (l *AccessLog) Append(line string, worker int) {
 		l.cfg.bpLogOffset().Trigger(core.NewConflictTrigger(BPLogOffset, l.off), worker == 0,
 			core.Options{Timeout: l.cfg.Timeout, Bound: 1})
 	}
+	//cbvet:ignore conflicts intentional httpd race: the unguarded offset advance IS the reproduced log-corruption bug
 	l.off.Store("httpd:log.off.write", off+int64(len(line)))
 	l.wrMu.Lock()
 	if int(off)+len(line) <= len(l.buf) {

@@ -101,6 +101,7 @@ func NewFactory(n int, cfg *Config) *Factory {
 	for i := 0; i < n; i++ {
 		f.csList.clients = append(f.csList.clients, &SocketClient{ID: i, idle: true})
 	}
+	//cbvet:ignore conflicts single-threaded constructor store; the racy idleCount sites are the reproduced Figure 2 bug
 	f.idleCount.Store("init", int64(n))
 	return f
 }

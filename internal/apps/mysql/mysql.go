@@ -66,11 +66,11 @@ type Table struct {
 	dropped *memory.Cell
 }
 
-func newTable(name string) *Table {
+func newTable(sp *memory.Space, name string) *Table {
 	return &Table{
 		Name:    name,
-		storage: memory.NewRef(nil, "mysql.storage."+name, &rows{}),
-		dropped: memory.NewCell(nil, "mysql.dropped."+name, 0),
+		storage: memory.NewRef(sp, "mysql.storage."+name, &rows{}),
+		dropped: memory.NewCell(sp, "mysql.dropped."+name, 0),
 	}
 }
 
@@ -160,20 +160,30 @@ type Server struct {
 	cfg     *Config
 }
 
-// NewServer returns a server with an empty catalog.
+// NewServer returns a server with an empty catalog. When cfg carries a
+// Space, every shared cell of the server is created in it, so a tracer
+// on the space (the predictive recorder of internal/predict, or a
+// dynamic detector) observes all of the server's racy state.
 func NewServer(cfg *Config) *Server {
 	return &Server{
 		mu:      locks.NewMutex("mysql.catalog"),
 		tables:  make(map[string]*Table),
 		binlog:  newBinlog(),
-		nextLSN: memory.NewCell(nil, "mysql.lsn", 0),
+		nextLSN: memory.NewCell(cfg.space(), "mysql.lsn", 0),
 		cfg:     cfg,
 	}
 }
 
+// Mutexes returns the server's instrumented locks (catalog and binlog),
+// so recorders and detectors can Observe them alongside the memory
+// space: detect-style attachment is d.Instrument(sp, srv.Mutexes()...).
+func (s *Server) Mutexes() []*locks.Mutex {
+	return []*locks.Mutex{s.mu, s.binlog.mu}
+}
+
 // CreateTable registers a new table.
 func (s *Server) CreateTable(name string) *Table {
-	t := newTable(name)
+	t := newTable(s.cfg.space(), name)
 	s.mu.With(func() { s.tables[name] = t })
 	return t
 }
@@ -315,6 +325,7 @@ func (s *Server) update(session int, fields []string, stmt string) (int64, error
 		}
 	})
 	if changed > 0 {
+		//cbvet:ignore conflicts intentional mysql race: the lock-free LSN assignment vs the locked commit path is the cbpredict demo pair
 		lsn := s.nextLSN.AtomicAdd("mysql:lsn", 1)
 		s.binlog.Append(LogRecord{LSN: lsn, SQL: stmt})
 	}
@@ -487,10 +498,17 @@ func (s *Server) commitWithBinlog(value string) {
 		s.cfg.bpDeadlock().Trigger(core.NewDeadlockTrigger(BPDeadlock, s.mu, s.binlog.mu), true,
 			core.Options{Timeout: s.cfg.Timeout, Bound: 1})
 	}
-	lsn := s.nextLSN.AtomicAdd("mysql:lsn", 1)
+	lsn := s.nextLSN.AtomicAdd("mysql:commit.lsn", 1)
 	//cbvet:ignore lockorder intentional: the FLUSH-vs-DML inversion (MySQL #9801) the waitgraph test confirms at runtime
 	s.binlog.Append(LogRecord{LSN: lsn, SQL: "INSERT /* locked commit */ " + value})
 }
+
+// LockedCommit exposes the catalog-locked commit path: it assigns the
+// LSN while holding the catalog lock, where the plain INSERT path
+// assigns it with no lock held — the inconsistent locking the
+// predictive analyzer (internal/predict, cbvet's conflicts pass)
+// surfaces as a predicted race on mysql.lsn.
+func (s *Server) LockedCommit(value string) { s.commitWithBinlog(value) }
 
 // flushWithReadLock models the FLUSH LOGS side: rotation holds the
 // binlog lock while it walks the catalog to block new table writes —
@@ -559,6 +577,11 @@ type Config struct {
 	// StallAfter bounds stall detection for the Deadlock bug (default
 	// 2s); the other bugs never stall and keep the long safety deadline.
 	StallAfter time.Duration
+	// Space, when non-nil, is the memory space the server's shared
+	// cells are created in, so a tracer attached to it (recorder or
+	// detector) observes every racy access. Nil keeps cells untraced —
+	// the zero-overhead default.
+	Space *memory.Space
 
 	// bps caches the run's breakpoint handles, resolved once in Run so
 	// the trigger sites skip the per-call registry lookup. Left nil when
@@ -632,6 +655,13 @@ func (c *Config) stallAfter() time.Duration {
 
 func (c *Config) bug(b Bug) bool {
 	return c != nil && c.Breakpoint && c.Bug == b
+}
+
+func (c *Config) space() *memory.Space {
+	if c == nil {
+		return nil
+	}
+	return c.Space
 }
 
 // Run drives the scenario for the configured bug and classifies the

@@ -46,6 +46,7 @@ func TestTracerSeesAccesses(t *testing.T) {
 	tr := &recTracer{}
 	sp.Trace(tr)
 	c := NewCell(sp, "y", 0)
+	//cbvet:ignore conflicts unrelated test fixtures share the class name "y" (detect_test locks its own); class identity merges them
 	c.Store("s:1", 1)
 	c.Load("s:2")
 	c.Add("s:3", 1) // one read + one write

@@ -1,0 +1,129 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"cbreak/internal/detect"
+	"cbreak/internal/locks"
+	"cbreak/internal/memory"
+)
+
+// OracleResult is the cross-check of a prediction run against the
+// dynamic detectors of internal/detect, replayed over the same trace:
+//
+//   - FastTrack (full happens-before) defines which races were PRESENT
+//     in the recorded interleaving. The predictor's closure is a subset
+//     of the full relation, so everything FastTrack reports must also
+//     be predicted; a miss is a predictor soundness bug.
+//   - Eraser (lockset) defines which cells carry inconsistent locking.
+//     Every predicted pair holds disjoint locksets by construction, so
+//     its cell must be in Eraser's report set; an unflagged prediction
+//     means the predictor invented a pair the lockset discipline rules
+//     out.
+type OracleResult struct {
+	// ObservedRaces are FastTrack's reports over the replayed trace —
+	// the races of the recorded interleaving itself.
+	ObservedRaces []detect.Report
+	// EraserCells are the cells the lockset detector flagged.
+	EraserCells []string
+	// MissedObserved are FastTrack races absent from the predictions
+	// (must be empty).
+	MissedObserved []detect.Report
+	// Unflagged are predictions whose cell Eraser did not flag (must
+	// be empty).
+	Unflagged []Prediction
+}
+
+// Ok reports whether both soundness checks passed.
+func (o *OracleResult) Ok() bool {
+	return len(o.MissedObserved) == 0 && len(o.Unflagged) == 0
+}
+
+// Err returns a descriptive error when a check failed, nil otherwise.
+func (o *OracleResult) Err() error {
+	if o.Ok() {
+		return nil
+	}
+	return fmt.Errorf("predict: oracle cross-check failed: %d observed race(s) missed, %d prediction(s) without lockset inconsistency",
+		len(o.MissedObserved), len(o.Unflagged))
+}
+
+// replayDetector feeds a trace through a detect.Detector using
+// synthetic cells and mutexes keyed by name, so the replay needs no
+// live program state. Lock-order/contention detection (which reads the
+// live lock registry) is bypassed: only OnAccess, AfterLock,
+// BeforeUnlock, ForkEdge, and JoinEdge are driven.
+func replayDetector(tr *Trace, d *detect.Detector) {
+	cells := map[string]*memory.Cell{}
+	mus := map[string]*locks.Mutex{}
+	cell := func(name string) *memory.Cell {
+		c, ok := cells[name]
+		if !ok {
+			c = memory.NewCell(nil, name, 0)
+			cells[name] = c
+		}
+		return c
+	}
+	mu := func(name string) *locks.Mutex {
+		m, ok := mus[name]
+		if !ok {
+			m = locks.NewMutex(name)
+			mus[name] = m
+		}
+		return m
+	}
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case EvRead:
+			d.OnAccess(ev.Gid, cell(ev.Obj), memory.Read, ev.Site)
+		case EvWrite:
+			d.OnAccess(ev.Gid, cell(ev.Obj), memory.Write, ev.Site)
+		case EvAcquire:
+			d.AfterLock(mu(ev.Obj), ev.Gid, ev.Site)
+		case EvRelease:
+			d.BeforeUnlock(mu(ev.Obj), ev.Gid, ev.Site)
+		case EvFork:
+			d.ForkEdge(ev.Gid, ev.Child)
+		case EvJoin:
+			d.JoinEdge(ev.Gid, ev.Child)
+		}
+	}
+}
+
+// CrossCheck replays the trace through FastTrack-only and Eraser-only
+// detectors and verifies the prediction set against both.
+func CrossCheck(tr *Trace, res *Result) *OracleResult {
+	ft := detect.New(detect.WithEraser(false))
+	replayDetector(tr, ft)
+	er := detect.New(detect.WithHappensBefore(false))
+	replayDetector(tr, er)
+
+	out := &OracleResult{ObservedRaces: ft.ReportsOf(detect.KindRace)}
+	eraserCells := map[string]bool{}
+	for _, r := range er.ReportsOf(detect.KindRace) {
+		eraserCells[r.Var] = true
+	}
+	for c := range eraserCells {
+		out.EraserCells = append(out.EraserCells, c)
+	}
+	sort.Strings(out.EraserCells)
+
+	predKeys := map[string]bool{}
+	for _, p := range res.Predictions {
+		predKeys[p.Key()] = true
+		if !eraserCells[p.Var] {
+			out.Unflagged = append(out.Unflagged, p)
+		}
+	}
+	for _, r := range out.ObservedRaces {
+		s1, s2 := r.Site1, r.Site2
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		if !predKeys[fmt.Sprintf("%s|%s|%s", r.Var, s1, s2)] {
+			out.MissedObserved = append(out.MissedObserved, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package vclock
+
+import "testing"
+
+// Empty clocks are the identity of the join lattice and the bottom of
+// the happens-before order; every operation must treat absent
+// components as zero without special-casing.
+func TestEmptyClockSemantics(t *testing.T) {
+	empty := New()
+	other := New()
+	empty.Join(other)
+	if len(empty) != 0 || !empty.Equal(New()) {
+		t.Fatalf("empty.Join(empty) = %v, want empty", empty)
+	}
+
+	v := vcFrom(2, 0, 1)
+	joined := New()
+	joined.Join(v)
+	if !joined.Equal(v) {
+		t.Fatalf("empty.Join(v) = %v, want %v (empty is the join identity)", joined, v)
+	}
+
+	if !New().HappensBefore(v) {
+		t.Fatal("empty clock must happen-before any non-empty clock")
+	}
+	if v.HappensBefore(New()) {
+		t.Fatal("non-empty clock cannot happen-before empty")
+	}
+	if New().HappensBefore(New()) {
+		t.Fatal("HappensBefore is irreflexive: empty vs empty")
+	}
+	if New().Concurrent(v) || v.Concurrent(New()) {
+		t.Fatal("empty is ordered before everything, never concurrent")
+	}
+	if !New().LEq(v) || !New().LEq(New()) {
+		t.Fatal("empty must be <= every clock")
+	}
+	if !New().Equal(New()) {
+		t.Fatal("two empty clocks must be equal")
+	}
+
+	// A clock whose components are all explicit zeros is the same point
+	// of the lattice as the empty clock.
+	zeroed := New()
+	zeroed.Set(1, 0)
+	zeroed.Set(9, 0)
+	if !zeroed.Equal(New()) || !New().Equal(zeroed) {
+		t.Fatalf("explicit-zero clock %v must equal empty", zeroed)
+	}
+	if zeroed.HappensBefore(New()) || New().HappensBefore(zeroed) {
+		t.Fatal("explicit-zero clock is the same lattice point as empty")
+	}
+}
+
+// Join is idempotent: v ⊔ v = v, including through a clone, and the
+// clone must not alias the original's storage.
+func TestSelfJoinIdempotent(t *testing.T) {
+	v := vcFrom(4, 7, 2)
+	want := v.Clone()
+	v.Join(v)
+	if !v.Equal(want) {
+		t.Fatalf("v.Join(v) changed the clock: %v, want %v", v, want)
+	}
+	c := v.Clone()
+	v.Join(c)
+	if !v.Equal(want) {
+		t.Fatalf("v.Join(clone) changed the clock: %v, want %v", v, want)
+	}
+	c.Tick(1)
+	if !v.Equal(want) {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+// Wide clocks: many components, exercising the iteration-heavy paths
+// (Join as component max, LEq/HappensBefore when exactly one component
+// lags, String building over a large support).
+func TestWideClocks(t *testing.T) {
+	const width = 1500
+	a, b := New(), New()
+	for id := uint64(1); id <= width; id++ {
+		a.Set(id, id%17)
+		b.Set(id, (id+9)%23)
+	}
+	j := a.Clone()
+	j.Join(b)
+	for id := uint64(1); id <= width; id++ {
+		want := a.Get(id)
+		if bt := b.Get(id); bt > want {
+			want = bt
+		}
+		if j.Get(id) != want {
+			t.Fatalf("join[%d] = %d, want %d", id, j.Get(id), want)
+		}
+	}
+
+	const lag = width / 2
+	if j.Get(lag) == 0 {
+		t.Fatalf("test setup: component %d of the join is zero", lag)
+	}
+	lo := j.Clone()
+	lo.Set(lag, lo.Get(lag)-1)
+	if !lo.HappensBefore(j) {
+		t.Fatal("clock lagging in one component must happen-before the join")
+	}
+	if !lo.LEq(j) || j.LEq(lo) {
+		t.Fatal("LEq wrong for a one-component lag")
+	}
+	if lo.Concurrent(j) {
+		t.Fatal("ordered wide clocks reported concurrent")
+	}
+
+	// Two wide clocks that each lead in a different component are
+	// concurrent no matter how many components agree.
+	x, y := j.Clone(), j.Clone()
+	x.Tick(1)
+	y.Tick(2)
+	if !x.Concurrent(y) || !y.Concurrent(x) {
+		t.Fatal("wide clocks leading in different components must be concurrent")
+	}
+
+	if s := j.String(); len(s) < width {
+		t.Fatalf("String over %d components suspiciously short: %d bytes", width, len(s))
+	}
+}
